@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table/figure of the paper at full
+scale (``REPRO_BENCH_SCALE`` overrides; 1.0 reproduces paper-like input
+sizes).  Regenerated tables are printed and archived under
+``benchmarks/_results/`` so EXPERIMENTS.md can reference them.
+
+Traces are cached process-wide (``repro.nn.models.build_trace``), so the
+first benchmark that needs a network pays its functional-execution cost and
+the rest reuse it.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return SEED
+
+
+@pytest.fixture(scope="session")
+def archive():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(result):
+        table = result.table()
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(table + "\n")
+        print("\n" + table)
+        return table
+
+    return _archive
+
+
+def run_experiment(benchmark, module, scale, seed):
+    """Run one experiment under pytest-benchmark (single round: these are
+    deterministic model evaluations, not microbenchmarks)."""
+    return benchmark.pedantic(
+        module.run, kwargs={"scale": scale, "seed": seed},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )

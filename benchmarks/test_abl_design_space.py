@@ -1,0 +1,25 @@
+"""Bench: design-space sweeps justifying Table 3's design points."""
+
+from conftest import run_experiment
+from repro.experiments import abl_design_space
+
+
+def test_abl_design_space(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, abl_design_space, scale, seed)
+    archive(result)
+    pe = {r["dim"]: r for r in result.data["pe"]}
+    # Bigger arrays are faster but with diminishing returns past 64x64.
+    assert pe[16]["latency_ms"] > pe[32]["latency_ms"] > pe[64]["latency_ms"]
+    gain_32_to_64 = pe[32]["latency_ms"] / pe[64]["latency_ms"]
+    gain_64_to_128 = pe[64]["latency_ms"] / pe[128]["latency_ms"]
+    assert gain_64_to_128 < gain_32_to_64
+    width = {r["width"]: r for r in result.data["merger_width"]}
+    # Mapping time falls with merger width and floors out by N=64.
+    assert width[8]["mapping_ms"] > width[32]["mapping_ms"]
+    assert width[64]["mapping_ms"] <= width[32]["mapping_ms"]
+    dram = {r["dram"]: r for r in result.data["dram"]}
+    # The full configuration needs HBM2: DDR4 starves the 64x64 array.
+    assert dram["HBM2"]["latency_ms"] < dram["DDR4-2133"]["latency_ms"]
+    assert dram["DDR4-2133"]["movement_frac"] > dram["HBM2"]["movement_frac"]
+    buf = {r["input_kb"]: r for r in result.data["input_buffer"]}
+    assert buf[512]["dram_mb"] < buf[32]["dram_mb"]

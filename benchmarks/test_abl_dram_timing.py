@@ -1,0 +1,13 @@
+"""Bench: DRAM row-buffer locality gap (the bandwidth-model validation)."""
+
+from conftest import run_experiment
+from repro.experiments import abl_dram_timing
+
+
+def test_abl_dram_timing(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, abl_dram_timing, scale, seed)
+    archive(result)
+    for name, d in result.data.items():
+        assert d["sequential_gbps"] > d["random_gbps"], name
+        assert d["sequential_hit_rate"] > 0.8, name
+        assert d["gap"] > 1.5, name

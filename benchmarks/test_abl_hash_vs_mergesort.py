@@ -1,0 +1,13 @@
+"""Bench: Section 4.1.1 ablation — mergesort vs hash kernel mapping
+(paper: 1.4x faster, up to 14x smaller)."""
+
+from conftest import run_experiment
+from repro.experiments import abl_hash_vs_mergesort
+
+
+def test_abl_hash_vs_mergesort(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, abl_hash_vs_mergesort, scale, seed)
+    archive(result)
+    for entry in result.data["layers"]:
+        assert 1.1 < entry["speedup"] < 3.0, entry       # paper 1.4x
+    assert max(e["area_ratio"] for e in result.data["layers"]) > 10.0

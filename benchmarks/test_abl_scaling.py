@@ -1,0 +1,18 @@
+"""Bench: input-scale robustness of the PointAcc advantage."""
+
+from conftest import run_experiment
+from repro.experiments import abl_scaling
+
+
+def test_abl_scaling(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, abl_scaling, scale, seed)
+    archive(result)
+    for net, points in result.data.items():
+        # The advantage holds at every operating point...
+        assert all(p["speedup"] > 1.0 for p in points), net
+        # ...and mapping never swallows PointAcc's latency (the MPU scales
+        # with the cloud: "arbitrary scales of point clouds").
+        assert all(p["mapping_frac"] < 0.5 for p in points), net
+        # Latency grows with input size (sanity).
+        ms = [p["pa_ms"] for p in points]
+        assert ms == sorted(ms), net

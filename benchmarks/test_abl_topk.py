@@ -1,0 +1,11 @@
+"""Bench: Section 4.1.4 ablation — MPU TopK vs quick-select engine
+(paper: 1.18x faster on average)."""
+
+from conftest import run_experiment
+from repro.experiments import abl_topk
+
+
+def test_abl_topk(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, abl_topk, scale, seed)
+    archive(result)
+    assert 1.0 < result.data["geomean"] < 1.6  # paper 1.18x

@@ -1,0 +1,15 @@
+"""Bench: Fig. 2 — point-cloud nets: higher accuracy, fewer MACs, slower on
+GPU than 2D-projection CNNs (paper: 7x fewer MACs, 1.3x slower)."""
+
+from conftest import run_experiment
+from repro.experiments import fig02_motivation
+
+
+def test_fig02_motivation(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig02_motivation, scale, seed)
+    archive(result)
+    d2 = result.data["2d"]["SalsaNext"]
+    d3 = result.data["3d"]["MinkNet(o)"]
+    assert d3["miou"] > d2["miou"]             # higher accuracy
+    assert d3["gmacs"] < d2["gmacs"]           # fewer MACs
+    assert d3["gpu_ms"] > d2["gpu_ms"]         # yet slower on GPU

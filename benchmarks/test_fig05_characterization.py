@@ -1,0 +1,20 @@
+"""Bench: Fig. 5 — dataset density and per-point workload (paper: outdoor
+clouds <1e-4 dense; 100x MACs and feature bytes per point vs CNNs)."""
+
+from conftest import run_experiment
+from repro.experiments import fig05_characterization
+from repro.experiments.fig05_characterization import PAPER_DENSITY_BANDS
+
+
+def test_fig05_characterization(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig05_characterization, scale, seed)
+    archive(result)
+    for name, density in result.data["density"].items():
+        lo, hi = PAPER_DENSITY_BANDS[name]
+        assert lo <= density <= hi, (name, density)
+    workloads = result.data["workloads"]
+    # Point-cloud networks: 1e4..1e7 MACs/point (paper's 10^3..10^6 band
+    # shifts with input size); CNNs sit at 6e3 / 8e4.
+    for net, stats in workloads.items():
+        assert stats.macs_per_point > 1e4, net
+    assert workloads["MinkNet(i)"].feature_bytes_per_point > 2000

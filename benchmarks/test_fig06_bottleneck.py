@@ -1,0 +1,18 @@
+"""Bench: Fig. 6 — latency breakdowns on commodity hardware (paper:
+mapping + movement >50% everywhere; TPU movement 60-90%)."""
+
+from conftest import run_experiment
+from repro.experiments import fig06_bottleneck
+
+
+def test_fig06_bottleneck(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig06_bottleneck, scale, seed)
+    archive(result)
+    data = result.data
+    for plat in ("CPU", "GPU", "mGPU", "CPU+TPU"):
+        frac = data[("PointNet++(s)", plat)]
+        assert frac["mapping"] + frac["movement"] > 0.5, plat
+    tpu = data[("MinkNet(o)", "CPU+TPU")]
+    assert 0.6 < tpu["movement"] < 0.99
+    gpu = data[("MinkNet(o)", "GPU")]
+    assert gpu["movement"] + gpu["mapping"] > 0.35

@@ -1,0 +1,23 @@
+"""Bench: Fig. 13 — speedup/energy vs server platforms (paper: 3.7x GPU,
+53x TPU, 90x CPU; 22x/210x/176x energy)."""
+
+from conftest import run_experiment
+from repro.experiments import fig13_server
+
+
+def test_fig13_server(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig13_server, scale, seed)
+    archive(result)
+    speedup = result.data["speedup"]
+    energy = result.data["energy"]
+    # PointAcc wins everywhere; platform ordering matches the paper.
+    gpu = speedup["RTX 2080Ti"]["GeoMean"]
+    tpu = speedup["Xeon Skylake + TPU V3"]["GeoMean"]
+    cpu = speedup["Xeon Gold 6130"]["GeoMean"]
+    assert 2.0 < gpu < 8.0          # paper 3.7x
+    assert 25.0 < tpu < 110.0       # paper 53x
+    assert 40.0 < cpu < 180.0       # paper 90x
+    assert gpu < tpu and gpu < cpu
+    assert 10.0 < energy["RTX 2080Ti"]["GeoMean"] < 60.0       # paper 22x
+    assert 100.0 < energy["Xeon Skylake + TPU V3"]["GeoMean"] < 500.0
+    assert energy["Xeon Gold 6130"]["GeoMean"] > 100.0

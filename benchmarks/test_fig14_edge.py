@@ -1,0 +1,22 @@
+"""Bench: Fig. 14 — PointAcc.Edge vs edge devices (paper: 2.5x NX,
+9.8x Nano, 141x RPi; 7.8x/16x/127x energy)."""
+
+from conftest import run_experiment
+from repro.experiments import fig14_edge
+
+
+def test_fig14_edge(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig14_edge, scale, seed)
+    archive(result)
+    speedup = result.data["speedup"]
+    energy = result.data["energy"]
+    nx = speedup["Jetson Xavier NX"]["GeoMean"]
+    nano = speedup["Jetson Nano"]["GeoMean"]
+    rpi = speedup["Raspberry Pi 4B"]["GeoMean"]
+    assert 1.5 < nx < 5.0           # paper 2.5x
+    assert 5.0 < nano < 20.0        # paper 9.8x
+    assert 60.0 < rpi < 280.0       # paper 141x
+    assert nx < nano < rpi
+    assert 3.0 < energy["Jetson Xavier NX"]["GeoMean"] < 16.0   # paper 7.8x
+    assert 7.0 < energy["Jetson Nano"]["GeoMean"] < 32.0        # paper 16x
+    assert 60.0 < energy["Raspberry Pi 4B"]["GeoMean"] < 260.0  # paper 127x

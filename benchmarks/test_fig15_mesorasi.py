@@ -1,0 +1,20 @@
+"""Bench: Fig. 15 — PointAcc.Edge vs Mesorasi SW/HW (paper figure: geomean
+14x / 128x / 4.3x speedup; 15x / 110x / 11x energy)."""
+
+from conftest import run_experiment
+from repro.experiments import fig15_mesorasi
+
+
+def test_fig15_mesorasi(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig15_mesorasi, scale, seed)
+    archive(result)
+    speedup = result.data["speedup"]
+    hw = speedup["Mesorasi-HW"]["GeoMean"]
+    nano = speedup["Mesorasi-SW on Jetson Nano"]["GeoMean"]
+    rpi = speedup["Mesorasi-SW on Raspberry Pi 4B"]["GeoMean"]
+    assert 2.0 < hw < 9.0           # paper figure 4.3x
+    assert 3.0 < nano < 28.0        # paper 14x
+    assert 30.0 < rpi < 260.0       # paper 128x
+    assert hw < nano < rpi
+    energy_hw = result.data["energy"]["Mesorasi-HW"]["GeoMean"]
+    assert 2.0 < energy_hw < 22.0   # paper 11x

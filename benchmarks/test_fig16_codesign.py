@@ -1,0 +1,13 @@
+"""Bench: Fig. 16 — co-design vs Mesorasi on S3DIS (paper: ~100x faster,
++9.1 mIoU)."""
+
+from conftest import run_experiment
+from repro.experiments import fig16_codesign
+
+
+def test_fig16_codesign(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig16_codesign, scale, seed)
+    archive(result)
+    assert 40.0 < result.data["speedup"] < 400.0  # paper ~100x
+    assert abs(result.data["miou_gain"] - 9.1) < 1e-6
+    assert result.data["sparse_rejected_by_mesorasi"]

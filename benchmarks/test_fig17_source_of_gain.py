@@ -1,0 +1,23 @@
+"""Bench: Fig. 17 — kernel-mapping algorithm and conv-flow breakdowns
+(paper: mergesort loses on CPU/GPU, wins 1.4x on-chip; F-D hurts GPU but
+matches G-S matmul-only time on PointAcc)."""
+
+from conftest import run_experiment
+from repro.experiments import fig17_source_of_gain
+
+
+def test_fig17_source_of_gain(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig17_source_of_gain, scale, seed)
+    archive(result)
+    left = result.data["kernel_mapping"]
+    for plat in ("Xeon Gold 6130", "RTX 2080Ti"):
+        assert left[plat]["mergesort_ms"] > left[plat]["hash_ms"]
+    onchip = left["PointAcc"]["hash_ms"] / left["PointAcc"]["mergesort_ms"]
+    assert 1.1 < onchip < 3.0  # paper 1.4x
+    # PointAcc kernel mapping is far faster than CPU/GPU (paper: >10x).
+    assert left["RTX 2080Ti"]["hash_ms"] > 3 * left["PointAcc"]["mergesort_ms"]
+    right = result.data["conv_flow"]
+    assert (right["RTX 2080Ti"]["fetch_on_demand_ms"]
+            > right["RTX 2080Ti"]["gather_scatter_ms"])
+    pa = right["PointAcc"]
+    assert pa["fetch_on_demand_ms"] <= 1.6 * pa["gs_matmul_only_ms"]

@@ -1,0 +1,17 @@
+"""Bench: Fig. 18 — cache miss rate vs block size / kernel / channels
+(paper: monotone decrease with block size, halves with channel width)."""
+
+from conftest import run_experiment
+from repro.experiments import fig18_cache
+
+
+def test_fig18_cache(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig18_cache, scale, seed)
+    archive(result)
+    curves = result.data["curves"]
+    for key, rates in curves.items():
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:])), key
+        assert rates[0] < 0.45          # paper tops out around 30%
+        assert rates[-1] < rates[0] / 3  # large blocks cut misses hard
+    assert curves[(2, 128)][0] < 0.7 * curves[(2, 64)][0]
+    assert curves[(3, 128)][0] < 0.7 * curves[(3, 64)][0]

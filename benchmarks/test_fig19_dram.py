@@ -1,0 +1,14 @@
+"""Bench: Fig. 19 — per-layer DRAM with/without caching (paper: 6.3x on
+S3DIS, 3.5x on SemanticKITTI)."""
+
+from conftest import run_experiment
+from repro.experiments import fig19_dram
+
+
+def test_fig19_dram(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig19_dram, scale, seed)
+    archive(result)
+    data = result.data
+    assert 2.5 < data["MinkNet(i)"]["reduction"] < 10.0   # paper 6.3x
+    assert 2.0 < data["MinkNet(o)"]["reduction"] < 8.0    # paper 3.5x
+    assert data["MinkNet(i)"]["reduction"] > data["MinkNet(o)"]["reduction"]

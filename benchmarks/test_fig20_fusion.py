@@ -1,0 +1,17 @@
+"""Bench: Fig. 20 — fusion-mode DRAM reduction (paper: 64% PointNet,
+41%/33%/39% PointNet++ variants)."""
+
+from conftest import run_experiment
+from repro.experiments import fig20_fusion
+
+
+def test_fig20_fusion(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig20_fusion, scale, seed)
+    archive(result)
+    data = result.data
+    for net, d in data.items():
+        assert 0.15 < d["reduction"] < 0.85, net
+    # PointNet (no downsampling) fuses at least as much as the PN++ nets.
+    assert data["PointNet"]["reduction"] >= 0.9 * max(
+        data[n]["reduction"] for n in data if n != "PointNet"
+    )

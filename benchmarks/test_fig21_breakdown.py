@@ -1,0 +1,18 @@
+"""Bench: Fig. 21 — PointAcc breakdown on MinkNet(o) (paper: MatMul
+dominates latency; energy ~74% compute / 6% SRAM / 20% DRAM)."""
+
+from conftest import run_experiment
+from repro.experiments import fig21_breakdown
+
+
+def test_fig21_breakdown(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, fig21_breakdown, scale, seed)
+    archive(result)
+    lat = result.data["latency"]
+    assert lat["PointAcc"]["matmul"] > 0.6
+    assert lat["PointAcc"]["total_ms"] < lat["GPU"]["total_ms"]
+    assert lat["PointAcc"]["total_ms"] < lat["CPU+TPU"]["total_ms"]
+    pie = result.data["energy_pie"]
+    assert 0.55 < pie["compute"] < 0.92   # paper 0.74
+    assert 0.01 < pie["sram"] < 0.15      # paper 0.06
+    assert 0.05 < pie["dram"] < 0.40      # paper 0.20

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the library's core kernels (wall-clock timings).
+
+Unlike the experiment benches (which regenerate paper artifacts), these
+time the actual Python implementations so performance regressions in the
+substrate show up in ``--benchmark-only`` runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mmu.cache import CacheConfig, simulate_conv_cache
+from repro.core.mpu import ComparatorArray, StreamingMerger, mpu_topk
+from repro.mapping import (
+    farthest_point_sampling,
+    kernel_map_hash,
+    kernel_map_mergesort,
+    knn_indices,
+)
+from repro.pointcloud import generate_sample
+
+
+@pytest.fixture(scope="module")
+def voxel_coords():
+    cloud = generate_sample("s3dis", seed=0, n_points=20_000)
+    return cloud.voxelize(0.05).coords
+
+
+@pytest.fixture(scope="module")
+def lidar_points():
+    return generate_sample("semantickitti", seed=0, n_points=8192).points
+
+
+def test_kernel_map_mergesort_speed(benchmark, voxel_coords):
+    maps = benchmark(kernel_map_mergesort, voxel_coords, voxel_coords, 3, 1)
+    assert maps.n_maps > len(voxel_coords)
+
+
+def test_kernel_map_hash_speed(benchmark, voxel_coords):
+    maps = benchmark(kernel_map_hash, voxel_coords, voxel_coords, 3, 1)
+    assert maps.n_maps > len(voxel_coords)
+
+
+def test_fps_speed(benchmark, lidar_points):
+    idx = benchmark(farthest_point_sampling, lidar_points, 512)
+    assert len(idx) == 512
+
+
+def test_knn_speed(benchmark, lidar_points):
+    queries = lidar_points[:512]
+    idx, _ = benchmark(knn_indices, queries, lidar_points, 32)
+    assert idx.shape == (512, 32)
+
+
+def test_streaming_merger_speed(benchmark):
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.integers(0, 10**6, size=2000))
+    b = np.sort(rng.integers(0, 10**6, size=2000))
+    merger = StreamingMerger(64)
+
+    def run():
+        return merger.merge(
+            ComparatorArray(a.copy(), np.arange(len(a))),
+            ComparatorArray(b.copy(), np.arange(len(b))),
+        )
+
+    merged, stats = benchmark(run)
+    assert len(merged) == 4000
+
+
+def test_mpu_topk_speed(benchmark):
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 10**9, size=4096)
+
+    def run():
+        return mpu_topk(ComparatorArray.from_keys(keys), 32, 64)
+
+    out, _ = benchmark(run)
+    assert len(out) == 32
+
+
+def test_cache_simulation_speed(benchmark, voxel_coords):
+    maps = kernel_map_mergesort(voxel_coords, voxel_coords, 3, 1)
+    cfg = CacheConfig(capacity_bytes=256 * 1024, block_points=16, c_in=64)
+    stats = benchmark(simulate_conv_cache, maps, cfg)
+    assert 0.0 <= stats.miss_rate <= 1.0

@@ -1,0 +1,17 @@
+"""Bench: Table 2 — the 8-network suite executes end to end and covers
+every mapping-operation category of Table 1."""
+
+from conftest import run_experiment
+from repro.experiments import tab02_benchmarks
+
+
+def test_tab02_benchmarks(benchmark, scale, seed, archive):
+    # Table 2 certification runs at a modest scale: it executes all eight
+    # networks purely to certify coverage, not to measure them.
+    result = run_experiment(benchmark, tab02_benchmarks, min(scale, 0.25), seed)
+    archive(result)
+    assert len(result.data) == 8
+    used = set()
+    for row in result.rows:
+        used.update(row[-1].split(","))
+    assert {"fps", "ball", "knn", "kernel", "quant"} <= used

@@ -1,0 +1,15 @@
+"""Bench: Table 3 — ASIC configurations (paper: 15.7 / 3.9 mm2 at 40 nm,
+8 TOPS / 512 GOPS)."""
+
+from conftest import run_experiment
+from repro.experiments import tab03_asic
+
+
+def test_tab03_asic(benchmark, scale, seed, archive):
+    result = run_experiment(benchmark, tab03_asic, scale, seed)
+    archive(result)
+    data = result.data
+    assert abs(data["PointAcc"]["area_mm2"] - 15.7) / 15.7 < 0.1
+    assert abs(data["PointAcc.Edge"]["area_mm2"] - 3.9) / 3.9 < 0.2
+    assert abs(data["PointAcc"]["peak_tops"] - 8.19) < 0.1
+    assert abs(data["PointAcc.Edge"]["peak_tops"] - 0.512) < 0.01

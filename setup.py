@@ -1,0 +1,6 @@
+"""Setup shim: the offline environment lacks the `wheel` package that
+PEP 517 editable installs require, so `pip install -e .` falls back to this
+legacy path (`setup.py develop`). Metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Workload and dataset analysis (paper Fig. 2 and Fig. 5)."""
+
+from .density import IMAGENET_DENSITY, DensityResult, cloud_density, dataset_density
+from .macs import CNN_2D_SEG, CNN_REFERENCES, WorkloadStats, benchmark_workload
+
+__all__ = [
+    "IMAGENET_DENSITY",
+    "DensityResult",
+    "cloud_density",
+    "dataset_density",
+    "CNN_2D_SEG",
+    "CNN_REFERENCES",
+    "WorkloadStats",
+    "benchmark_workload",
+]

@@ -1,0 +1,76 @@
+"""Workload analysis: #MACs and feature footprint per point (Fig. 2, Fig. 5).
+
+Point-cloud numbers are measured from our traces; the 2D-CNN comparison
+points (ResNet50, MobileNetV2, SqueezeSeg, SalsaNext) are published
+constants — those models are outside the point-cloud system and serve only
+as the reference line in the motivation figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.models.registry import build_trace
+
+__all__ = ["WorkloadStats", "benchmark_workload", "CNN_REFERENCES", "CNN_2D_SEG"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    name: str
+    n_points: int
+    total_macs: int
+    macs_per_point: float
+    feature_bytes_per_point: float
+
+
+@dataclass(frozen=True)
+class CNNReference:
+    """Published numbers for a 2D CNN comparison point."""
+
+    name: str
+    macs_per_point: float  # MACs per input pixel
+    feature_bytes_per_point: float
+    total_gmacs: float
+    accuracy: float  # top-1 (cls) or mIoU (seg)
+    params_m: float = 0.0
+
+
+# ImageNet CNNs (224x224 = 50176 input pixels).
+CNN_REFERENCES = (
+    CNNReference("MobileNetV2", macs_per_point=6.0e3,
+                 feature_bytes_per_point=96.0, total_gmacs=0.30,
+                 accuracy=71.8, params_m=3.5),
+    CNNReference("ResNet50", macs_per_point=8.2e4,
+                 feature_bytes_per_point=392.0, total_gmacs=4.1,
+                 accuracy=76.1, params_m=25.6),
+)
+
+# 2D projection-based LiDAR segmentation (Fig. 2 left cluster):
+# accuracy = SemanticKITTI mIoU, MACs on a 64x2048 range image.
+CNN_2D_SEG = (
+    CNNReference("SqueezeSeg", macs_per_point=1.0e5,
+                 feature_bytes_per_point=256.0, total_gmacs=13.0,
+                 accuracy=29.5, params_m=1.0),
+    CNNReference("SalsaNext", macs_per_point=4.7e5,
+                 feature_bytes_per_point=512.0, total_gmacs=62.0,
+                 accuracy=59.5, params_m=6.7),
+)
+
+
+def benchmark_workload(
+    notation: str, scale: float = 1.0, seed: int = 0,
+    bytes_per_element: int = 4,
+) -> WorkloadStats:
+    """Measure MACs/point and peak feature bytes/point from a trace."""
+    trace = build_trace(notation, scale=scale, seed=seed)
+    n = max(trace.input_points, 1)
+    return WorkloadStats(
+        name=notation,
+        n_points=n,
+        total_macs=trace.total_macs,
+        macs_per_point=trace.total_macs / n,
+        feature_bytes_per_point=trace.max_feature_bytes_per_point(
+            bytes_per_element
+        ),
+    )

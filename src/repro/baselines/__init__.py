@@ -1,0 +1,40 @@
+"""Baseline platform models: CPU, GPU, TPU, edge devices, Mesorasi."""
+
+from .mesorasi import (
+    MESORASI_HW,
+    MesorasiHW,
+    UnsupportedModelError,
+    delayed_aggregation_transform,
+    mesorasi_sw,
+)
+from .platform import PlatformModel, PlatformSpec
+from .registry import (
+    EDGE_PLATFORMS,
+    JETSON_NANO,
+    JETSON_XAVIER_NX,
+    RASPBERRY_PI_4B,
+    RTX_2080TI,
+    SERVER_PLATFORMS,
+    XEON_6130,
+    XEON_TPU_V3,
+    get_platform,
+)
+
+__all__ = [
+    "MESORASI_HW",
+    "MesorasiHW",
+    "UnsupportedModelError",
+    "delayed_aggregation_transform",
+    "mesorasi_sw",
+    "PlatformModel",
+    "PlatformSpec",
+    "EDGE_PLATFORMS",
+    "JETSON_NANO",
+    "JETSON_XAVIER_NX",
+    "RASPBERRY_PI_4B",
+    "RTX_2080TI",
+    "SERVER_PLATFORMS",
+    "XEON_6130",
+    "XEON_TPU_V3",
+    "get_platform",
+]

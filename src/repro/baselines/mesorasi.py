@@ -1,0 +1,234 @@
+"""Mesorasi (Feng et al., MICRO 2020) — the prior point-cloud accelerator.
+
+Mesorasi's *delayed aggregation* rewrites a PointNet++ set-abstraction
+block: the shared MLP runs on the raw input points (n rows) instead of on
+the gathered neighbor matrix (n_maps rows), and the gather + max-aggregation
+move to *after* the MLP on its outputs.  This is only valid when all
+neighbors share the same weights — exactly the limitation the paper's
+Section 5.2.2 and Fig. 16 exercise: SparseConv-based models (per-offset
+weights) cannot run on Mesorasi at all.
+
+Models here:
+
+* :func:`delayed_aggregation_transform` — the trace rewrite;
+* :class:`MesorasiHW` — NPU (16x16 systolic @ 1 GHz, Table 3) + aggregation
+  unit + LPDDR3, with mapping ops on the SoC's mobile GPU (Mesorasi keeps
+  neighbor search on the GPU);
+* :func:`mesorasi_sw` — delayed aggregation in software on an edge platform
+  (the paper's Mesorasi-SW baselines on Jetson Nano / Raspberry Pi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.energy import EnergyLedger
+from ..core.report import LayerRecord, PerfReport
+from ..nn.trace import LayerKind, LayerSpec, Trace
+from .platform import PlatformModel, PlatformSpec
+
+__all__ = [
+    "UnsupportedModelError",
+    "delayed_aggregation_transform",
+    "MesorasiHW",
+    "MESORASI_HW",
+    "mesorasi_sw",
+]
+
+
+class UnsupportedModelError(RuntimeError):
+    """Raised when a model requires per-neighbor weights Mesorasi lacks."""
+
+
+def delayed_aggregation_transform(trace: Trace) -> Trace:
+    """Rewrite gather->MLP->pool blocks to MLP->gather->pool.
+
+    For every shared-MLP layer whose rows equal the preceding gather's map
+    count, the row dimension shrinks to the gather's source cloud size; the
+    gather itself then moves the MLP's *output* features and merges into
+    the aggregation step.  SparseConv traces are rejected — per-offset
+    weights break the delayed-aggregation identity.
+    """
+    if any(s.kind is LayerKind.SPARSE_CONV for s in trace):
+        raise UnsupportedModelError(
+            "Mesorasi's delayed aggregation requires shared neighbor "
+            "weights; SparseConv models are unsupported (paper Section 5.2.2)"
+        )
+    new = Trace(name=f"{trace.name}+delayed_agg", input_points=trace.input_points)
+    pending_gather: LayerSpec | None = None
+    last_mlp_c: int | None = None
+    for spec in trace:
+        if spec.kind is LayerKind.GATHER:
+            pending_gather = spec
+            last_mlp_c = None
+            continue  # emitted after the MLP it used to precede
+        if (
+            spec.kind is LayerKind.DENSE_MM
+            and pending_gather is not None
+            and spec.rows == pending_gather.n_maps
+        ):
+            n = pending_gather.n_in
+            new.record(
+                replace(spec, rows=n, n_in=n, n_out=n,
+                        name=f"{spec.name}@delayed")
+            )
+            last_mlp_c = spec.c_out
+            continue
+        if (
+            spec.kind is LayerKind.POOL_MAX
+            and pending_gather is not None
+            and last_mlp_c is not None
+        ):
+            # Aggregation now gathers MLP outputs and max-reduces them.
+            new.record(
+                replace(
+                    pending_gather,
+                    c_in=last_mlp_c,
+                    name=f"{pending_gather.name}@delayed",
+                )
+            )
+            new.record(replace(spec, c_in=last_mlp_c, c_out=last_mlp_c))
+            pending_gather = None
+            last_mlp_c = None
+            continue
+        if pending_gather is not None and spec.kind is not LayerKind.DENSE_MM:
+            # Gather feeding something other than an MLP chain: emit as-is.
+            new.record(pending_gather)
+            pending_gather = None
+        new.record(spec)
+    if pending_gather is not None:
+        new.record(pending_gather)
+    return new
+
+
+@dataclass(frozen=True)
+class MesorasiConfig:
+    """Table 3 column: 16x16 NPU, 1.6 MB SRAM, LPDDR3-1600, 16 nm."""
+
+    name: str = "Mesorasi"
+    npu_gops: float = 512.0  # 256 PEs x 2 ops x 1 GHz
+    dense_efficiency: float = 0.90
+    agg_lanes: int = 16  # aggregation-unit elements per cycle
+    frequency_hz: float = 1e9
+    dram_gbps: float = 12.8
+    dram_pj_per_byte: float = 64.0
+    elem_bytes: int = 2
+    npu_power_w: float = 2.8
+    mgpu_mapping_gops: float = 0.5  # neighbor search stays on the SoC GPU
+    mgpu_power_w: float = 8.0
+    mgpu_fps_sync_us: float = 6.0  # serial FPS iterations on the mobile GPU
+    mapping_overhead_us: float = 15.0
+
+
+MESORASI_CONFIG = MesorasiConfig()
+
+
+class MesorasiHW:
+    """Cost model of the Mesorasi accelerator (NPU + aggregation unit)."""
+
+    def __init__(self, config: MesorasiConfig = MESORASI_CONFIG) -> None:
+        self.config = config
+
+    def run(self, trace: Trace, apply_transform: bool = True) -> PerfReport:
+        cfg = self.config
+        if apply_transform:
+            trace = delayed_aggregation_transform(trace)
+        elif any(s.kind is LayerKind.SPARSE_CONV for s in trace):
+            raise UnsupportedModelError(
+                "Mesorasi cannot execute SparseConv models"
+            )
+        report = PerfReport(platform=cfg.name, network=trace.name)
+        for spec in trace:
+            kind = spec.kind
+            if kind.is_mapping:
+                seconds = 0.0
+                if not spec.params.get("cached"):
+                    from .platform import _mapping_ops
+
+                    seconds = _mapping_ops(spec) / (cfg.mgpu_mapping_gops * 1e9)
+                    if kind is LayerKind.MAP_FPS:
+                        # Serial FPS iterations sync the mobile GPU each step.
+                        seconds = max(
+                            seconds, spec.n_out * cfg.mgpu_fps_sync_us * 1e-6
+                        )
+                seconds += cfg.mapping_overhead_us * 1e-6
+                energy = EnergyLedger(
+                    compute_pj=cfg.mgpu_power_w * seconds * 1e12
+                )
+                report.add(
+                    LayerRecord(
+                        name=spec.name,
+                        kind=kind.value,
+                        seconds=seconds,
+                        category_seconds={"mapping": seconds},
+                        energy=energy,
+                    )
+                )
+            elif kind.is_movement or kind in (
+                LayerKind.POOL_MAX,
+                LayerKind.GLOBAL_POOL,
+                LayerKind.INTERP,
+                LayerKind.ELEMWISE,
+            ):
+                # Aggregation unit: streams map entries; memory-bound on
+                # LPDDR3 when features spill.
+                elems = max(spec.moved_elements(),
+                            spec.rows * max(spec.c_in, spec.c_out, 1))
+                cycles = -(-elems // cfg.agg_lanes)
+                compute_s = cycles / cfg.frequency_hz
+                bytes_rw = 2.0 * elems * cfg.elem_bytes
+                mem_s = bytes_rw / (cfg.dram_gbps * 1e9)
+                seconds = max(compute_s, mem_s)
+                energy = EnergyLedger(
+                    compute_pj=cfg.npu_power_w * seconds * 1e12,
+                    dram_pj=bytes_rw * cfg.dram_pj_per_byte,
+                )
+                report.add(
+                    LayerRecord(
+                        name=spec.name,
+                        kind=kind.value,
+                        seconds=seconds,
+                        category_seconds={"movement": seconds},
+                        dram_read_bytes=bytes_rw / 2,
+                        dram_write_bytes=bytes_rw / 2,
+                        energy=energy,
+                    )
+                )
+            elif kind is LayerKind.DENSE_MM:
+                compute_s = spec.flops / (cfg.npu_gops * 1e9 * cfg.dense_efficiency)
+                stream = (
+                    spec.rows * (spec.c_in + spec.c_out)
+                    + spec.c_in * spec.c_out
+                ) * cfg.elem_bytes
+                mem_s = stream / (cfg.dram_gbps * 1e9)
+                seconds = max(compute_s, mem_s)
+                energy = EnergyLedger(
+                    compute_pj=cfg.npu_power_w * seconds * 1e12,
+                    dram_pj=stream * cfg.dram_pj_per_byte,
+                )
+                report.add(
+                    LayerRecord(
+                        name=spec.name,
+                        kind=kind.value,
+                        seconds=seconds,
+                        category_seconds={"matmul": seconds},
+                        macs=spec.macs,
+                        dram_read_bytes=stream / 2,
+                        dram_write_bytes=stream / 2,
+                        energy=energy,
+                    )
+                )
+            else:
+                raise UnsupportedModelError(f"Mesorasi cannot execute {kind}")
+        return report
+
+
+MESORASI_HW = MesorasiHW()
+
+
+def mesorasi_sw(trace: Trace, platform: PlatformModel) -> PerfReport:
+    """Mesorasi networks (delayed aggregation) in software on a platform."""
+    transformed = delayed_aggregation_transform(trace)
+    report = platform.run(transformed)
+    report.platform = f"Mesorasi-SW on {platform.spec.name}"
+    return report

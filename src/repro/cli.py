@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``        — enumerate benchmarks, platforms and experiments;
+* ``run``         — execute one benchmark on one platform, print the report;
+* ``experiment``  — regenerate one (or all) paper tables/figures;
+* ``compare``     — PointAcc vs every platform on one benchmark;
+* ``inspect``     — dump a benchmark's layer trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines.mesorasi import MESORASI_HW, UnsupportedModelError
+from .baselines.registry import EDGE_PLATFORMS, SERVER_PLATFORMS, get_platform
+from .core import PointAccModel, POINTACC_EDGE, POINTACC_FULL
+from .experiments import ALL_EXPERIMENTS
+from .experiments.common import format_table
+from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
+
+__all__ = ["main"]
+
+_ACCELERATORS = {
+    "pointacc": lambda: PointAccModel(POINTACC_FULL),
+    "pointacc-edge": lambda: PointAccModel(POINTACC_EDGE),
+    "mesorasi": lambda: MESORASI_HW,
+}
+
+
+def _platform_names() -> list[str]:
+    return [s.name for s in (*SERVER_PLATFORMS, *EDGE_PLATFORMS)]
+
+
+def _resolve_machine(name: str):
+    if name.lower() in _ACCELERATORS:
+        return _ACCELERATORS[name.lower()]()
+    return get_platform(name)
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks:")
+    for notation, bench in BENCHMARKS.items():
+        print(f"  {notation:18s} {bench.application:18s} {bench.dataset}")
+    print(f"  {MINI_MINKUNET.notation:18s} "
+          f"{MINI_MINKUNET.application:18s} {MINI_MINKUNET.dataset}")
+    print("\nmachines:")
+    for name in _ACCELERATORS:
+        print(f"  {name}")
+    for name in _platform_names():
+        print(f"  {name}")
+    print("\nexperiments:")
+    for exp_id, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:10s} {doc}")
+    return 0
+
+
+def _print_report(report) -> None:
+    s = report.summary()
+    print(f"platform : {report.platform}")
+    print(f"network  : {report.network}")
+    print(f"latency  : {s['latency_ms']:.3f} ms ({report.fps():.1f} FPS)")
+    print(f"energy   : {s['energy_mj']:.3f} mJ")
+    print(f"DRAM     : {s['dram_mb']:.2f} MB")
+    print(f"MACs     : {s['macs_g']:.2f} G")
+    parts = ", ".join(
+        f"{k} {v * 100:.0f}%" for k, v in s["breakdown"].items() if v > 0.005
+    )
+    print(f"breakdown: {parts}")
+
+
+def cmd_run(args) -> int:
+    trace = build_trace(args.benchmark, scale=args.scale, seed=args.seed)
+    machine = _resolve_machine(args.machine)
+    try:
+        report = machine.run(trace)
+    except UnsupportedModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_report(report)
+    if args.layers:
+        rows = [
+            [r.name, r.kind, f"{r.seconds * 1e6:.1f}",
+             f"{r.dram_bytes / 1e3:.1f}", f"{r.macs / 1e6:.1f}"]
+            for r in report.records
+        ]
+        print()
+        print(format_table(
+            ["layer", "kind", "us", "DRAM KB", "MMACs"], rows,
+            title="per-layer records",
+        ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    names = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"error: unknown experiment {name!r}; "
+                  f"known: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        result = ALL_EXPERIMENTS[name].run(scale=args.scale, seed=args.seed)
+        print(result.table())
+        print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = build_trace(args.benchmark, scale=args.scale, seed=args.seed)
+    base = PointAccModel(POINTACC_FULL).run(trace)
+    rows = [[
+        "PointAcc", f"{base.total_seconds * 1e3:.3f}",
+        f"{base.energy_joules * 1e3:.3f}", "1.0x", "1.0x",
+    ]]
+    for name in _platform_names():
+        rep = get_platform(name).run(trace)
+        rows.append([
+            name,
+            f"{rep.total_seconds * 1e3:.3f}",
+            f"{rep.energy_joules * 1e3:.3f}",
+            f"{rep.total_seconds / base.total_seconds:.1f}x",
+            f"{rep.energy_joules / base.energy_joules:.1f}x",
+        ])
+    print(format_table(
+        ["platform", "latency ms", "energy mJ", "slowdown", "energy ratio"],
+        rows, title=f"{args.benchmark} @ scale {args.scale}",
+    ))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    trace = build_trace(args.benchmark, scale=args.scale, seed=args.seed)
+    summary = trace.summary()
+    print(f"{args.benchmark}: {summary['layers']} ops, "
+          f"{summary['total_macs'] / 1e9:.2f} GMACs, "
+          f"{summary['total_maps']} maps, "
+          f"{trace.input_points} input points")
+    rows = [
+        [s.name, s.kind.value, s.n_in, s.n_out, s.c_in, s.c_out, s.rows,
+         s.n_maps]
+        for s in trace
+    ]
+    print(format_table(
+        ["name", "kind", "n_in", "n_out", "c_in", "c_out", "rows", "maps"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks/machines/experiments")
+
+    run_p = sub.add_parser("run", help="run one benchmark on one machine")
+    run_p.add_argument("benchmark", choices=[*BENCHMARKS, MINI_MINKUNET.notation])
+    run_p.add_argument("--machine", default="pointacc")
+    run_p.add_argument("--scale", type=float, default=0.25)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--layers", action="store_true",
+                       help="print per-layer records")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument("id", help="experiment id (or 'all')")
+    exp_p.add_argument("--scale", type=float, default=0.25)
+    exp_p.add_argument("--seed", type=int, default=0)
+
+    cmp_p = sub.add_parser("compare", help="PointAcc vs all platforms")
+    cmp_p.add_argument("benchmark", choices=[*BENCHMARKS, MINI_MINKUNET.notation])
+    cmp_p.add_argument("--scale", type=float, default=0.25)
+    cmp_p.add_argument("--seed", type=int, default=0)
+
+    ins_p = sub.add_parser("inspect", help="dump a benchmark's trace")
+    ins_p.add_argument("benchmark", choices=[*BENCHMARKS, MINI_MINKUNET.notation])
+    ins_p.add_argument("--scale", type=float, default=0.1)
+    ins_p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "experiment": cmd_experiment,
+        "compare": cmd_compare,
+        "inspect": cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""PointAcc architecture model — the paper's primary contribution.
+
+Submodules: ``mpu`` (Mapping Unit, Section 4.1), ``mmu`` (Memory Management
+Unit, Section 4.2), ``mxu`` (Matrix Unit, Section 4.3), plus the top-level
+:class:`PointAccModel` scheduler, the energy/area models and Table 3
+configurations.
+"""
+
+from .accelerator import PointAccModel
+from .area import AreaModel
+from .config import (
+    DDR4_2133,
+    HBM2,
+    LPDDR3_1600,
+    POINTACC_EDGE,
+    POINTACC_FULL,
+    DRAMSpec,
+    PointAccConfig,
+    SRAMBudget,
+)
+from .energy import DEFAULT_ENERGY, EnergyConstants, EnergyLedger, sram_pj_per_byte
+from .report import CATEGORIES, LayerRecord, PerfReport
+
+__all__ = [
+    "PointAccModel",
+    "AreaModel",
+    "DDR4_2133",
+    "HBM2",
+    "LPDDR3_1600",
+    "POINTACC_EDGE",
+    "POINTACC_FULL",
+    "DRAMSpec",
+    "PointAccConfig",
+    "SRAMBudget",
+    "DEFAULT_ENERGY",
+    "EnergyConstants",
+    "EnergyLedger",
+    "sram_pj_per_byte",
+    "CATEGORIES",
+    "LayerRecord",
+    "PerfReport",
+]

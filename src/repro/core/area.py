@@ -1,0 +1,102 @@
+"""Area model at 40 nm (paper Table 3: 15.7 mm² full, 3.9 mm² edge).
+
+Component constants follow 40 nm design-kit rules of thumb:
+
+* fp16 MAC PE with pipeline registers and psum accumulator: ~1900 um²
+* 6T SRAM including periphery: ~0.008 mm² per KB
+* compare-exchange unit (64-bit key + 32-bit payload swap): ~650 um²
+* DRAM controller + PHY block: fixed per-chip overhead
+* 5% top-level integration overhead (clock tree, misc control)
+
+The Section 4.1.1 hash-engine comparison models the alternative design the
+paper rejected: an N-lane parallel hash probe requires an NxN all-to-all
+crossbar into banked SRAM (O(N^2) wiring) plus a table several times the
+cloud's working set — that is where the ~14x area gap comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import PointAccConfig
+from .mpu.bitonic import merger_comparators, sorter_comparators
+
+__all__ = ["AreaModel", "AreaBreakdown"]
+
+PE_MM2 = 1.9e-3
+SRAM_MM2_PER_KB = 0.008
+COMPARATOR_MM2 = 6.5e-4
+DISTANCE_LANE_MM2 = 2.5e-3  # 3x fp mul + adder tree per CD lane
+DRAM_CTRL_MM2 = 0.45
+INTEGRATION_OVERHEAD = 1.05
+CROSSBAR_PORT_MM2 = 2.2e-3  # per port-pair of the NxN hash crossbar
+HASH_TABLE_SORTER_RATIO = 10.0  # on-the-fly hash table vs sorter buffer size
+
+
+@dataclass
+class AreaBreakdown:
+    pe_array: float
+    sram: float
+    mpu_logic: float
+    dram_ctrl: float
+
+    @property
+    def total(self) -> float:
+        raw = self.pe_array + self.sram + self.mpu_logic + self.dram_ctrl
+        return raw * INTEGRATION_OVERHEAD
+
+
+class AreaModel:
+    """Component-level area accounting for one configuration."""
+
+    def __init__(self, config: PointAccConfig) -> None:
+        self.config = config
+
+    def mpu_comparator_count(self) -> int:
+        """Comparators in the MPU pipeline: two N/2 sorters, one N merger,
+        and the N-wide intersection detector's adjacent comparators."""
+        width = self.config.merger_width
+        return (
+            2 * sorter_comparators(width // 2)
+            + merger_comparators(width)
+            + width
+        )
+
+    def mergesort_mpu_mm2(self) -> float:
+        """Area of the ranking-based MPU logic (buffers counted in SRAM)."""
+        comparators = self.mpu_comparator_count()
+        lanes = self.config.mpu_lanes
+        return comparators * COMPARATOR_MM2 + lanes * DISTANCE_LANE_MM2
+
+    def hash_mpu_mm2(self) -> float:
+        """Area of the hash-engine alternative at the same parallelism.
+
+        The hash table must hold a locality window of the input cloud
+        (coordinates + indices at a practical load factor), roughly 10x the
+        merge design's sorter buffer; parallel lanes need an NxN crossbar
+        into the banked table.
+        """
+        lanes = self.config.mpu_lanes
+        crossbar = lanes * lanes * CROSSBAR_PORT_MM2
+        table = (
+            HASH_TABLE_SORTER_RATIO * self.config.sram.sorter_kb * SRAM_MM2_PER_KB
+        )
+        hash_logic = lanes * (DISTANCE_LANE_MM2 + 2 * COMPARATOR_MM2)
+        return crossbar + table + hash_logic
+
+    def breakdown(self) -> AreaBreakdown:
+        cfg = self.config
+        return AreaBreakdown(
+            pe_array=cfg.n_pes * PE_MM2,
+            sram=cfg.sram.total_kb * SRAM_MM2_PER_KB,
+            mpu_logic=self.mergesort_mpu_mm2(),
+            dram_ctrl=DRAM_CTRL_MM2,
+        )
+
+    @property
+    def total_mm2(self) -> float:
+        return self.breakdown().total
+
+    def hash_vs_mergesort_ratio(self) -> float:
+        """Area ratio of the rejected hash design to the shipped MPU."""
+        return self.hash_mpu_mm2() / self.mergesort_mpu_mm2()

@@ -1,0 +1,160 @@
+"""Architecture configurations (paper Table 3).
+
+Two PointAcc instances are evaluated: the full-size server configuration
+(64x64 systolic array, HBM2) and PointAcc.Edge (16x16, DDR4), both at 1 GHz
+in a 40 nm node.  Mesorasi's NPU configuration is also described here since
+``repro.baselines.mesorasi`` models it with the same building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DRAMSpec",
+    "SRAMBudget",
+    "PointAccConfig",
+    "POINTACC_FULL",
+    "POINTACC_EDGE",
+    "HBM2",
+    "DDR4_2133",
+    "LPDDR3_1600",
+]
+
+
+@dataclass(frozen=True)
+class DRAMSpec:
+    """Off-chip memory: bandwidth sets streaming time, pJ/byte sets energy.
+
+    Energy constants are per-technology access energies (pJ per byte moved,
+    including I/O and activation amortization) from vendor/ISSCC figures:
+    HBM2 ~4 pJ/bit, DDR4 ~15 pJ/bit, LPDDR3 ~8 pJ/bit.
+    """
+
+    name: str
+    bandwidth_gbps: float  # GB/s
+    energy_pj_per_byte: float
+    burst_bytes: int = 64
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        if n_bytes < 0:
+            raise ValueError("negative transfer size")
+        return n_bytes / (self.bandwidth_gbps * 1e9)
+
+    def transfer_energy_pj(self, n_bytes: float) -> float:
+        return n_bytes * self.energy_pj_per_byte
+
+
+HBM2 = DRAMSpec(name="HBM2", bandwidth_gbps=256.0, energy_pj_per_byte=44.0)
+DDR4_2133 = DRAMSpec(name="DDR4-2133", bandwidth_gbps=17.0, energy_pj_per_byte=120.0)
+LPDDR3_1600 = DRAMSpec(name="LPDDR3-1600", bandwidth_gbps=12.8, energy_pj_per_byte=64.0)
+
+
+@dataclass(frozen=True)
+class SRAMBudget:
+    """On-chip buffer allocation in KB (sums to Table 3's SRAM totals)."""
+
+    input_kb: float
+    weight_kb: float
+    output_kb: float
+    sorter_kb: float
+    merger_kb: float
+    map_fifo_kb: float
+    misc_kb: float = 0.0
+
+    @property
+    def total_kb(self) -> float:
+        return (
+            self.input_kb
+            + self.weight_kb
+            + self.output_kb
+            + self.sorter_kb
+            + self.merger_kb
+            + self.map_fifo_kb
+            + self.misc_kb
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.total_kb * 1024)
+
+
+@dataclass(frozen=True)
+class PointAccConfig:
+    """One PointAcc instance.
+
+    ``pe_rows`` parallelizes input channels and ``pe_cols`` output channels
+    (Section 4.3); ``merger_width`` is the bitonic merger's N (Section 4.1.3)
+    and ``mpu_lanes`` the distance-computation parallelism of the CD stage.
+    """
+
+    name: str
+    pe_rows: int
+    pe_cols: int
+    frequency_hz: float
+    sram: SRAMBudget
+    dram: DRAMSpec
+    merger_width: int = 64
+    mpu_lanes: int = 16
+    vector_lanes: int = 64  # pooling / elementwise throughput (elems/cycle)
+    bytes_per_element: int = 2  # fp16 features
+    technology_nm: int = 40
+
+    @property
+    def n_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def peak_ops(self) -> float:
+        """Peak OPS (2 ops per MAC per cycle) — Table 3's bottom row."""
+        return 2.0 * self.n_pes * self.frequency_hz
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return float(self.n_pes) * self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+# Full-size PointAcc: 64x64 PEs, 776 KB SRAM, HBM2 (Table 3).
+POINTACC_FULL = PointAccConfig(
+    name="PointAcc",
+    pe_rows=64,
+    pe_cols=64,
+    frequency_hz=1e9,
+    sram=SRAMBudget(
+        input_kb=256.0,
+        weight_kb=128.0,
+        output_kb=256.0,
+        sorter_kb=64.0,
+        merger_kb=16.0,
+        map_fifo_kb=32.0,
+        misc_kb=24.0,
+    ),
+    dram=HBM2,
+    merger_width=64,
+    mpu_lanes=16,
+    vector_lanes=64,
+)
+
+# PointAcc.Edge: 16x16 PEs, 274 KB SRAM, DDR4 (Table 3).
+POINTACC_EDGE = PointAccConfig(
+    name="PointAcc.Edge",
+    pe_rows=16,
+    pe_cols=16,
+    frequency_hz=1e9,
+    sram=SRAMBudget(
+        input_kb=96.0,
+        weight_kb=32.0,
+        output_kb=96.0,
+        sorter_kb=32.0,
+        merger_kb=8.0,
+        map_fifo_kb=8.0,
+        misc_kb=2.0,
+    ),
+    dram=DDR4_2133,
+    merger_width=32,
+    mpu_lanes=8,
+    vector_lanes=16,
+)

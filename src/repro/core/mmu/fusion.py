@@ -1,0 +1,277 @@
+"""Temporal layer fusion of consecutive dense layers (paper §4.2.4, Fig. 12).
+
+Point-cloud networks interleave sparse convs with runs of dense pointwise
+FCs (shared MLPs).  PointAcc fuses each run *temporally*: the MIR container
+becomes a stack, the Matrix Unit always works on the top entry, and point
+tiles flow through the fused layers depth-first — so intermediate features
+never visit DRAM.
+
+The planner follows the paper's compilation rule: "for each set of
+consecutive FCs, try to fuse all unprocessed FCs.  If the estimated memory
+of the required intermediate data overflows for all possible tilings,
+discard the last layer and try to fuse the remaining ones.  Repeat until
+all layers are processed."  Tiling is over the point dimension only (no
+halos).
+
+:func:`simulate_fusion_stack` replays a fused group through an actual
+:class:`~repro.core.mmu.mir.MIRContainer` stack, reproducing the Fig. 12
+stage walkthrough; tests assert it never overflows the planned buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...nn.trace import LayerKind, LayerSpec, Trace
+from .mir import MIRContainer
+
+__all__ = [
+    "FusionGroup",
+    "FusionPlan",
+    "FusionPlanner",
+    "find_fusible_chains",
+    "simulate_fusion_stack",
+]
+
+
+@dataclass
+class FusionGroup:
+    """A run of dense layers executed as one fused unit.
+
+    ``elide_output`` marks groups whose trailing consumer is a global
+    reduction (GLOBAL_POOL): the final feature matrix is consumed on-chip
+    as it drains from the array, so only the pooled vector leaves the chip.
+    """
+
+    specs: list[LayerSpec]
+    tile_points: int
+    elide_output: bool = False
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.specs)
+
+    @property
+    def rows(self) -> int:
+        return self.specs[0].rows
+
+    @property
+    def c_in(self) -> int:
+        return self.specs[0].c_in
+
+    @property
+    def c_out(self) -> int:
+        return self.specs[-1].c_out
+
+    @property
+    def macs(self) -> int:
+        return sum(s.macs for s in self.specs)
+
+    def weight_bytes(self, elem_bytes: int) -> float:
+        return float(sum(s.c_in * s.c_out for s in self.specs) * elem_bytes)
+
+    def dram_bytes(self, elem_bytes: int) -> float:
+        """Fused traffic: first input in, last output out, weights once."""
+        out_rows = 1 if self.elide_output else self.rows
+        return (
+            (self.rows * self.c_in + out_rows * self.c_out) * elem_bytes
+            + self.weight_bytes(elem_bytes)
+        )
+
+    def unfused_dram_bytes(self, elem_bytes: int) -> float:
+        """Layer-by-layer traffic: every intermediate round-trips DRAM."""
+        total = 0.0
+        for spec in self.specs:
+            total += spec.rows * (spec.c_in + spec.c_out) * elem_bytes
+            total += spec.c_in * spec.c_out * elem_bytes
+        return total
+
+
+@dataclass
+class FusionPlan:
+    groups: list[FusionGroup] = field(default_factory=list)
+
+    def dram_bytes(self, elem_bytes: int) -> float:
+        return sum(g.dram_bytes(elem_bytes) for g in self.groups)
+
+    def unfused_dram_bytes(self, elem_bytes: int) -> float:
+        return sum(g.unfused_dram_bytes(elem_bytes) for g in self.groups)
+
+    def reduction(self, elem_bytes: int = 2) -> float:
+        """Fractional DRAM saving of fusion mode (the Fig. 20 metric)."""
+        unfused = self.unfused_dram_bytes(elem_bytes)
+        if unfused == 0:
+            return 0.0
+        return 1.0 - self.dram_bytes(elem_bytes) / unfused
+
+
+def find_fusible_chains(
+    trace: Trace,
+) -> list[tuple[list[LayerSpec], bool]]:
+    """Maximal runs of consecutive fusible dense specs on one point set.
+
+    A chain breaks whenever a non-fusible op intervenes (pooling, mapping,
+    sparse conv, gather/scatter) or the row count changes — those are real
+    dataflow boundaries the stack cannot fuse across.  Returns
+    ``(chain, feeds_global_pool)`` pairs; a chain feeding a GLOBAL_POOL over
+    the same rows can keep its final features on-chip (the reduction
+    consumes them as the array drains).
+    """
+    chains: list[tuple[list[LayerSpec], bool]] = []
+    current: list[LayerSpec] = []
+    for spec in trace:
+        fusible_here = spec.kind is LayerKind.DENSE_MM and spec.fusible
+        if fusible_here and (not current or current[-1].rows == spec.rows):
+            current.append(spec)
+            continue
+        if current:
+            feeds_pool = (
+                spec.kind is LayerKind.GLOBAL_POOL
+                and spec.rows == current[-1].rows
+            )
+            chains.append((current, feeds_pool))
+            current = []
+        # Every intervening op is a dataflow boundary; a fusible spec with
+        # a different row count starts its own chain.
+        if fusible_here:
+            current.append(spec)
+    if current:
+        chains.append((current, False))
+    return chains
+
+
+class FusionPlanner:
+    """The paper's greedy fuse-all-else-drop-last compilation pass."""
+
+    def __init__(
+        self,
+        feature_buffer_bytes: int,
+        weight_buffer_bytes: int,
+        elem_bytes: int = 2,
+        min_tile_points: int = 32,
+    ) -> None:
+        if feature_buffer_bytes <= 0 or weight_buffer_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+        self.feature_buffer_bytes = feature_buffer_bytes
+        self.weight_buffer_bytes = weight_buffer_bytes
+        self.elem_bytes = elem_bytes
+        self.min_tile_points = min_tile_points
+
+    def _stack_bytes_per_point(self, specs: list[LayerSpec]) -> int:
+        """Peak stack footprint per point when tiles flow depth-first.
+
+        At the deepest stage every live layer holds at most one tile of its
+        input features (Fig. 12): layer i's input width c_in plus the final
+        output width.
+        """
+        widths = [spec.c_in for spec in specs] + [specs[-1].c_out]
+        return sum(widths) * self.elem_bytes
+
+    def _max_tile(self, specs: list[LayerSpec]) -> int:
+        per_point = self._stack_bytes_per_point(specs)
+        return self.feature_buffer_bytes // per_point if per_point else 0
+
+    def _weights_fit(self, specs: list[LayerSpec]) -> bool:
+        weight_bytes = sum(s.c_in * s.c_out for s in specs) * self.elem_bytes
+        return weight_bytes <= self.weight_buffer_bytes
+
+    def plan_chain(self, chain: list[LayerSpec]) -> list[FusionGroup]:
+        """Greedily split one fusible chain into feasible fused groups."""
+        if not chain:
+            return []
+        groups: list[FusionGroup] = []
+        start = 0
+        while start < len(chain):
+            end = len(chain)
+            while end > start + 1:
+                candidate = chain[start:end]
+                tile = min(self._max_tile(candidate), candidate[0].rows)
+                if tile >= self.min_tile_points and self._weights_fit(candidate):
+                    break
+                end -= 1
+            candidate = chain[start:end]
+            tile = max(1, min(self._max_tile(candidate), candidate[0].rows))
+            groups.append(FusionGroup(specs=candidate, tile_points=tile))
+            start = end
+        return groups
+
+    def plan(self, trace: Trace) -> FusionPlan:
+        plan = FusionPlan()
+        for chain, feeds_pool in find_fusible_chains(trace):
+            groups = self.plan_chain(chain)
+            if groups and feeds_pool:
+                groups[-1].elide_output = True
+            plan.groups.extend(groups)
+        return plan
+
+
+def simulate_fusion_stack(
+    group: FusionGroup, feature_buffer_bytes: int, elem_bytes: int = 2
+) -> dict:
+    """Replay a fused group through a MIR-container stack (Fig. 12).
+
+    Follows the paper's stage walkthrough exactly: the tile on top of the
+    stack is always the layer currently computing; a layer processes its
+    input tile in sub-chunks sized so the downstream stack fits (the Fig. 12
+    halving), releasing the *used part* of its tile before pushing the next
+    layer's input; a tile whose capacity reaches zero pops, returning
+    control to the previous unfinished layer.  The container raises if the
+    schedule would overflow the physical buffer.
+
+    Returns counters: rows computed per layer, stack pushes, peak depth,
+    peak bytes.
+    """
+    specs = group.specs
+    container = MIRContainer(
+        capacity_bytes=feature_buffer_bytes, n_entries=group.n_layers + 1
+    )
+    counters = {
+        "pushes": 0,
+        "peak_depth": 0,
+        "peak_bytes": 0,
+        "rows_computed": [0] * len(specs),
+    }
+    # Per-point bytes the downstream stack needs while layer i runs: the
+    # inputs of layers i+1.. plus nothing for the last layer (its output
+    # streams straight out through the output buffers).
+    downstream = [0] * len(specs)
+    for i in range(len(specs) - 2, -1, -1):
+        downstream[i] = downstream[i + 1] + specs[i + 1].c_in * elem_bytes
+
+    def push(n_bytes: int) -> None:
+        container.push(n_bytes)
+        counters["pushes"] += 1
+        counters["peak_depth"] = max(counters["peak_depth"], len(container))
+        counters["peak_bytes"] = max(
+            counters["peak_bytes"], container.allocated_bytes
+        )
+
+    def run_layer(i: int, tile_rows: int) -> None:
+        """Precondition: top of stack holds layer i's input tile."""
+        spec = specs[i]
+        remaining = tile_rows
+        if i == len(specs) - 1:
+            counters["rows_computed"][i] += remaining
+            container.shrink_top(remaining * spec.c_in * elem_bytes)
+            return
+        while remaining > 0:
+            free = container.free_bytes + 0  # snapshot
+            per_row_down = downstream[i]
+            chunk = remaining if per_row_down == 0 else max(
+                1, min(remaining, free // per_row_down)
+            )
+            counters["rows_computed"][i] += chunk
+            container.shrink_top(chunk * spec.c_in * elem_bytes)
+            push(chunk * specs[i + 1].c_in * elem_bytes)
+            run_layer(i + 1, chunk)
+            remaining -= chunk
+
+    rows = group.rows
+    tile = max(1, group.tile_points)
+    for tile_start in range(0, rows, tile):
+        tile_rows = min(tile, rows - tile_start)
+        push(tile_rows * specs[0].c_in * elem_bytes)  # layer 0 input from DRAM
+        run_layer(0, tile_rows)
+        if len(container) != 0:
+            raise RuntimeError("fusion stack not empty after a tile")
+    return counters

@@ -1,0 +1,154 @@
+"""Memory Tile Meta-Info Registers and the MIR container (paper Fig. 11b).
+
+The MMU manages on-chip buffers at "tile" granularity.  Each tile's address
+range, capacity and occupancy live in a :class:`MIR`; the
+:class:`MIRContainer` holds them and is *re-purposed by mode*:
+
+* ``tag``   — direct-mapped tag array for the sparse-computation cache
+              (Section 4.2.3),
+* ``fifo``  — prefetch queue for dense scratchpad operation (Section 4.2.4),
+* ``stack`` — temporal layer fusion, where the top entry is always the layer
+              currently being computed (Fig. 12).
+
+This container is the *mechanism* shared by the cache and fusion models; it
+tracks allocation against the physical buffer capacity and raises on
+overflow, which the fusion planner's tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MIR", "MIRContainer"]
+
+
+@dataclass
+class MIR:
+    """Meta info of one memory tile."""
+
+    tile_id: int
+    offset: int  # byte offset of the tile in the buffer
+    capacity: int  # allocated bytes
+    occupancy: int = 0  # valid bytes
+    tag: int | None = None  # cache-mode tag (block id)
+
+    def release(self, n_bytes: int) -> None:
+        if n_bytes > self.occupancy:
+            raise ValueError(
+                f"tile {self.tile_id}: releasing {n_bytes} > occupancy "
+                f"{self.occupancy}"
+            )
+        self.occupancy -= n_bytes
+        self.capacity -= n_bytes
+
+
+class MIRContainer:
+    """A pool of MIRs over a fixed-size buffer, usable as tag/fifo/stack."""
+
+    def __init__(self, capacity_bytes: int, n_entries: int) -> None:
+        if capacity_bytes <= 0 or n_entries <= 0:
+            raise ValueError("capacity and entry count must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.n_entries = n_entries
+        self._entries: list[MIR] = []
+        self._next_id = 0
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(m.capacity for m in self._entries)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _allocate(self, capacity: int, tag: int | None = None) -> MIR:
+        if capacity <= 0:
+            raise ValueError(f"tile capacity must be positive, got {capacity}")
+        if len(self._entries) >= self.n_entries:
+            raise OverflowError("MIR container entry limit exceeded")
+        if capacity > self.free_bytes:
+            raise OverflowError(
+                f"buffer overflow: requesting {capacity} B with only "
+                f"{self.free_bytes} B free"
+            )
+        mir = MIR(
+            tile_id=self._next_id,
+            offset=self.capacity_bytes - self.free_bytes,
+            capacity=capacity,
+            occupancy=capacity,
+            tag=tag,
+        )
+        self._next_id += 1
+        self._entries.append(mir)
+        return mir
+
+    # -- stack mode (layer fusion, Fig. 12) ---------------------------------
+
+    def push(self, capacity: int) -> MIR:
+        """Allocate a tile on top of the stack."""
+        return self._allocate(capacity)
+
+    def top(self) -> MIR:
+        if not self._entries:
+            raise IndexError("MIR stack is empty")
+        return self._entries[-1]
+
+    def pop(self) -> MIR:
+        if not self._entries:
+            raise IndexError("MIR stack is empty")
+        return self._entries.pop()
+
+    def shrink_top(self, n_bytes: int) -> None:
+        """Release the *used* part of the top tile (Fig. 12 Stage 2)."""
+        top = self.top()
+        top.release(n_bytes)
+        if top.capacity == 0:
+            self._entries.pop()
+
+    # -- fifo mode (dense prefetch, Section 4.2.4) ---------------------------
+
+    def enqueue(self, capacity: int) -> MIR:
+        return self._allocate(capacity)
+
+    def front(self) -> MIR:
+        if not self._entries:
+            raise IndexError("MIR fifo is empty")
+        return self._entries[0]
+
+    def dequeue(self) -> MIR:
+        if not self._entries:
+            raise IndexError("MIR fifo is empty")
+        return self._entries.pop(0)
+
+    # -- tag-array mode (cache, Section 4.2.3) --------------------------------
+
+    def init_tag_array(self, n_sets: int, block_bytes: int) -> None:
+        """Carve the buffer into ``n_sets`` direct-mapped blocks."""
+        if n_sets * block_bytes > self.capacity_bytes:
+            raise OverflowError(
+                f"{n_sets} blocks x {block_bytes} B exceed buffer "
+                f"({self.capacity_bytes} B)"
+            )
+        if n_sets > self.n_entries:
+            raise OverflowError("more cache sets than MIR entries")
+        self._entries = [
+            MIR(tile_id=i, offset=i * block_bytes, capacity=block_bytes,
+                occupancy=0, tag=None)
+            for i in range(n_sets)
+        ]
+        self._next_id = len(self._entries)
+
+    def lookup(self, set_index: int, tag: int) -> bool:
+        """Tag check; on miss, installs the tag (replacement is implicit
+        direct-mapped).  Returns hit/miss."""
+        entry = self._entries[set_index % len(self._entries)]
+        if entry.tag == tag:
+            return True
+        entry.tag = tag
+        entry.occupancy = entry.capacity
+        return False

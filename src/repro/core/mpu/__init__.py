@@ -1,0 +1,56 @@
+"""Mapping Unit (paper Section 4.1): ranking-based mapping operations."""
+
+from .bitonic import (
+    NetworkStats,
+    bitonic_merge_network,
+    bitonic_sort_network,
+    merge_sorted_pair,
+    merger_comparators,
+    merger_stages,
+    sorter_comparators,
+    sorter_stages,
+)
+from .comparator import INVALID_KEY, INVALID_PAYLOAD, ComparatorArray
+from .intersection import IntersectionStats, detect_intersections, detector_stages
+from .merge_stream import MergeStats, StreamingMerger, streaming_merge_cycles
+from .pipeline import MPUPipeline, STAGES, StageTrace
+from .topk import (
+    SortStats,
+    mpu_sort,
+    mpu_topk,
+    quickselect_topk_cycles,
+    sort_cycles,
+    topk_cycles,
+)
+from .unit import MappingUnit, MPUStats
+
+__all__ = [
+    "NetworkStats",
+    "bitonic_merge_network",
+    "bitonic_sort_network",
+    "merge_sorted_pair",
+    "merger_comparators",
+    "merger_stages",
+    "sorter_comparators",
+    "sorter_stages",
+    "INVALID_KEY",
+    "INVALID_PAYLOAD",
+    "ComparatorArray",
+    "IntersectionStats",
+    "detect_intersections",
+    "detector_stages",
+    "MergeStats",
+    "StreamingMerger",
+    "streaming_merge_cycles",
+    "MPUPipeline",
+    "STAGES",
+    "StageTrace",
+    "SortStats",
+    "mpu_sort",
+    "mpu_topk",
+    "quickselect_topk_cycles",
+    "sort_cycles",
+    "topk_cycles",
+    "MappingUnit",
+    "MPUStats",
+]

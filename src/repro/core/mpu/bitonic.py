@@ -1,0 +1,157 @@
+"""Bitonic sorting networks: the fixed-width compute core of the MPU.
+
+The MPU's Sort stage uses two N/2-input bitonic sorters and the MergeSort
+stage an N-input bitonic merger (paper Fig. 7).  This module implements the
+actual compare-exchange networks (vectorized over the wire dimension), with
+comparator-operation counting for the energy model and stage counting for
+the cycle model.
+
+A width-N bitonic **merger** has log2(N) stages of N/2 comparators; a full
+bitonic **sorter** has log2(N)*(log2(N)+1)/2 such stages.  Both are
+pipelined in hardware: one N-element block enters per cycle and latency
+equals the stage count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comparator import ComparatorArray
+
+__all__ = [
+    "NetworkStats",
+    "merger_stages",
+    "sorter_stages",
+    "merger_comparators",
+    "sorter_comparators",
+    "bitonic_merge_network",
+    "merge_sorted_pair",
+    "bitonic_sort_network",
+]
+
+
+@dataclass
+class NetworkStats:
+    """Work counters for passes through compare-exchange networks."""
+
+    compare_ops: int = 0
+    stages: int = 0
+
+    def add(self, other: "NetworkStats") -> None:
+        self.compare_ops += other.compare_ops
+        self.stages += other.stages
+
+
+def _check_power_of_two(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"network width must be a power of two >= 2, got {n}")
+
+
+def merger_stages(width: int) -> int:
+    _check_power_of_two(width)
+    return int(math.log2(width))
+
+
+def sorter_stages(width: int) -> int:
+    _check_power_of_two(width)
+    k = int(math.log2(width))
+    return k * (k + 1) // 2
+
+
+def merger_comparators(width: int) -> int:
+    """Compare-exchange units in a width-N bitonic merger."""
+    return merger_stages(width) * (width // 2)
+
+
+def sorter_comparators(width: int) -> int:
+    """Compare-exchange units in a width-N bitonic sorter."""
+    return sorter_stages(width) * (width // 2)
+
+
+def _compare_exchange(
+    array: ComparatorArray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    ascending: np.ndarray,
+    stats: NetworkStats,
+) -> None:
+    """One network stage: per-pair directed compare-exchange, vectorized."""
+    keys, payloads = array.keys, array.payloads
+    gt = keys[lo] > keys[hi]
+    swap = np.where(ascending, gt, ~gt)
+    if np.any(swap):
+        swap_lo = lo[swap]
+        swap_hi = hi[swap]
+        keys[swap_lo], keys[swap_hi] = keys[swap_hi].copy(), keys[swap_lo].copy()
+        payloads[swap_lo], payloads[swap_hi] = (
+            payloads[swap_hi].copy(),
+            payloads[swap_lo].copy(),
+        )
+    stats.compare_ops += len(lo)
+    stats.stages += 1
+
+
+def bitonic_merge_network(
+    array: ComparatorArray, stats: NetworkStats | None = None
+) -> NetworkStats:
+    """Run a width-N bitonic merger in place.
+
+    Input must be a *bitonic* sequence (ascending run followed by a
+    descending run, or any rotation thereof produced by the sorter stages);
+    output is ascending.
+    """
+    stats = stats if stats is not None else NetworkStats()
+    n = len(array)
+    _check_power_of_two(n)
+    idx = np.arange(n)
+    span = n // 2
+    while span >= 1:
+        lo = idx[(idx & span) == 0]
+        hi = lo + span
+        _compare_exchange(array, lo, hi, np.ones(len(lo), dtype=bool), stats)
+        span //= 2
+    return stats
+
+
+def merge_sorted_pair(
+    a: ComparatorArray, b: ComparatorArray, stats: NetworkStats | None = None
+) -> tuple[ComparatorArray, NetworkStats]:
+    """Merge two ascending arrays of equal power-of-two length.
+
+    ``a ++ reverse(b)`` is bitonic, so one merger pass sorts it — exactly
+    how the hardware merger is fed (Fig. 10a).
+    """
+    stats = stats if stats is not None else NetworkStats()
+    if len(a) != len(b):
+        raise ValueError(f"mismatched merge inputs ({len(a)} vs {len(b)})")
+    if not a.is_sorted() or not b.is_sorted():
+        raise ValueError("merge inputs must be sorted")
+    merged = a.concat(b[::-1])
+    bitonic_merge_network(merged, stats)
+    return merged, stats
+
+
+def bitonic_sort_network(
+    array: ComparatorArray, stats: NetworkStats | None = None
+) -> NetworkStats:
+    """Full bitonic sort (ascending) in place — the standard XOR network."""
+    stats = stats if stats is not None else NetworkStats()
+    n = len(array)
+    _check_power_of_two(n)
+    idx = np.arange(n)
+    size = 2
+    while size <= n:
+        span = size // 2
+        while span >= 1:
+            partner = idx ^ span
+            mask = partner > idx
+            lo = idx[mask]
+            hi = partner[mask]
+            ascending = (lo & size) == 0
+            _compare_exchange(array, lo, hi, ascending, stats)
+            span //= 2
+        size *= 2
+    return stats

@@ -1,0 +1,85 @@
+"""ComparatorStruct: the element type flowing through the MPU pipeline.
+
+Paper Section 4.1.2: "the comparator input element ... contains the
+comparator key (coordinates or distance) and the payload (e.g., the point
+index)".  We keep keys and payloads in parallel numpy arrays so
+compare-exchange networks can be vectorized while still moving payloads
+with their keys exactly as the hardware does.
+
+``INVALID_KEY`` pads partial windows; it sorts after every real key, which
+is also how the hardware's N/A slots behave (Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ComparatorArray", "INVALID_KEY", "INVALID_PAYLOAD"]
+
+INVALID_KEY = np.iinfo(np.int64).max
+INVALID_PAYLOAD = -1
+
+
+@dataclass
+class ComparatorArray:
+    """A batch of ComparatorStructs: int64 keys with int64 payloads."""
+
+    keys: np.ndarray
+    payloads: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        self.payloads = np.asarray(self.payloads, dtype=np.int64)
+        if self.keys.shape != self.payloads.shape:
+            raise ValueError(
+                f"keys/payloads shape mismatch: {self.keys.shape} vs "
+                f"{self.payloads.shape}"
+            )
+        if self.keys.ndim != 1:
+            raise ValueError("ComparatorArray is 1-D")
+
+    @classmethod
+    def from_keys(cls, keys: np.ndarray) -> "ComparatorArray":
+        """Keys with identity payloads.  Copies: sorting networks mutate
+        their input in place, and the caller's array must stay intact."""
+        keys = np.array(keys, dtype=np.int64, copy=True)
+        return cls(keys, np.arange(len(keys), dtype=np.int64))
+
+    @classmethod
+    def padded(cls, n: int) -> "ComparatorArray":
+        return cls(
+            np.full(n, INVALID_KEY, dtype=np.int64),
+            np.full(n, INVALID_PAYLOAD, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, index) -> "ComparatorArray":
+        return ComparatorArray(
+            np.atleast_1d(self.keys[index]), np.atleast_1d(self.payloads[index])
+        )
+
+    def concat(self, other: "ComparatorArray") -> "ComparatorArray":
+        return ComparatorArray(
+            np.concatenate([self.keys, other.keys]),
+            np.concatenate([self.payloads, other.payloads]),
+        )
+
+    def pad_to(self, n: int) -> "ComparatorArray":
+        """Right-pad with invalid slots up to length ``n``."""
+        if len(self) > n:
+            raise ValueError(f"cannot pad length {len(self)} down to {n}")
+        if len(self) == n:
+            return self
+        return self.concat(ComparatorArray.padded(n - len(self)))
+
+    def valid(self) -> "ComparatorArray":
+        """Drop padding slots."""
+        mask = self.keys != INVALID_KEY
+        return ComparatorArray(self.keys[mask], self.payloads[mask])
+
+    def is_sorted(self) -> bool:
+        return len(self) < 2 or bool(np.all(np.diff(self.keys) >= 0))

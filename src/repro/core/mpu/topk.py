@@ -1,0 +1,177 @@
+"""Sort / TopK of arbitrary length on the MPU (paper Fig. 10b/c).
+
+Sort: the input is split into width-N/2 chunks, each sorted by one pass
+through the bitonic sorter stages, then chunks are iteratively merge-sorted
+in a tree by forwarding the MergeSort stage's output back to the Buffering
+stage.  TopK: identical dataflow, but every intermediate merged subarray is
+truncated to length k — since k (16/32/64) is tiny against the cloud size
+(8192+), the reuse overhead is negligible (Section 4.1.4).
+
+Functional implementations return real results (tested against numpy);
+``*_cycles`` functions give the closed-form counts used by the cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitonic import bitonic_sort_network, sorter_comparators
+from .comparator import ComparatorArray
+from .merge_stream import MergeStats, StreamingMerger, streaming_merge_cycles
+
+__all__ = [
+    "SortStats",
+    "mpu_sort",
+    "mpu_topk",
+    "sort_cycles",
+    "topk_cycles",
+    "quickselect_topk_cycles",
+]
+
+
+@dataclass
+class SortStats:
+    cycles: int = 0
+    compare_ops: int = 0
+
+
+def _sorted_chunks(
+    array: ComparatorArray, half: int, stats: SortStats
+) -> list[ComparatorArray]:
+    """Split & Sort stage: one bitonic-sorter pass per width-N/2 chunk."""
+    chunks = []
+    for start in range(0, len(array), half):
+        chunk = array[start : start + half]
+        padded = chunk.pad_to(half)  # invalid slots sort to the end
+        net = bitonic_sort_network(padded)
+        stats.compare_ops += net.compare_ops
+        stats.cycles += 1  # pipelined: one chunk enters per cycle
+        chunks.append(padded.valid())
+    return chunks
+
+
+def mpu_sort(array: ComparatorArray, width: int) -> tuple[ComparatorArray, SortStats]:
+    """Sort an arbitrary-length array: split & sort, then a merge tree."""
+    stats = SortStats()
+    if len(array) == 0:
+        return array, stats
+    half = width // 2
+    merger = StreamingMerger(width)
+    level = _sorted_chunks(array, half, stats)
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            merged, mstats = merger.merge(level[i], level[i + 1])
+            stats.cycles += mstats.cycles
+            stats.compare_ops += mstats.compare_ops
+            next_level.append(merged)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0], stats
+
+
+def mpu_topk(
+    array: ComparatorArray, k: int, width: int
+) -> tuple[ComparatorArray, SortStats]:
+    """Smallest-k selection by truncating the merge tree's subarrays to k."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = SortStats()
+    if len(array) == 0:
+        return array, stats
+    half = width // 2
+    merger = StreamingMerger(width)
+    level = [chunk[: min(k, len(chunk))] for chunk in _sorted_chunks(array, half, stats)]
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            merged, mstats = merger.merge(level[i], level[i + 1])
+            stats.cycles += mstats.cycles
+            stats.compare_ops += mstats.compare_ops
+            next_level.append(merged[: min(k, len(merged))])
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0][: min(k, len(level[0]))], stats
+
+
+def sort_cycles(n: int, width: int) -> int:
+    """Closed-form cycle count of :func:`mpu_sort` (tested to match)."""
+    if n == 0:
+        return 0
+    half = width // 2
+    n_chunks = -(-n // half)
+    cycles = n_chunks  # split & sort pass, pipelined
+    # Merge tree: each level streams every element once through the merger.
+    sizes = [min(half, n - i * half) for i in range(n_chunks)]
+    while len(sizes) > 1:
+        next_sizes = []
+        for i in range(0, len(sizes) - 1, 2):
+            cycles += streaming_merge_cycles(sizes[i], sizes[i + 1], width)
+            next_sizes.append(sizes[i] + sizes[i + 1])
+        if len(sizes) % 2:
+            next_sizes.append(sizes[-1])
+        sizes = next_sizes
+    return cycles
+
+
+def topk_cycles(n: int, k: int, width: int) -> int:
+    """Closed-form cycle count of :func:`mpu_topk` (tested to match)."""
+    if n == 0:
+        return 0
+    half = width // 2
+    n_chunks = -(-n // half)
+    cycles = n_chunks
+    sizes = [min(k, min(half, n - i * half)) for i in range(n_chunks)]
+    while len(sizes) > 1:
+        next_sizes = []
+        for i in range(0, len(sizes) - 1, 2):
+            cycles += streaming_merge_cycles(sizes[i], sizes[i + 1], width)
+            next_sizes.append(min(k, sizes[i] + sizes[i + 1]))
+        if len(sizes) % 2:
+            next_sizes.append(sizes[-1])
+        sizes = next_sizes
+    return cycles
+
+
+def quickselect_topk_cycles(
+    n: int,
+    k: int,
+    lanes: int,
+    seed: int = 0,
+    max_passes: int = 64,
+    pass_overhead: int = 40,
+) -> int:
+    """Cycle model of a quick-select top-k engine (SpAtten's design).
+
+    Used by the Section 4.1.4 ablation: random-pivot partition passes over
+    the survivor set, each streaming ``ceil(len / lanes)`` cycles, until the
+    set shrinks to k.  Raw comparison work is ~2n (less than the merge
+    tree's n log), but every pass is *serialized* on the previous one: the
+    global pivot-count reduction and pipeline restart cost ``pass_overhead``
+    cycles (reduction-tree depth + control) before the next pass may start,
+    and the pass count is data-dependent.  The MPU's merge-tree TopK streams
+    continuously with no inter-pass barriers, which is where its ~1.2x
+    advantage at equal parallelism comes from.
+    """
+    rng = np.random.default_rng(seed)
+    cycles = 0
+    remaining = n
+    target = k
+    for _ in range(max_passes):
+        if remaining <= target or remaining <= lanes:
+            cycles += -(-remaining // lanes)
+            break
+        cycles += -(-remaining // lanes) + pass_overhead  # serialized pass
+        # Random pivot rank: survivors on the small side of the pivot.
+        pivot_rank = int(rng.integers(1, remaining))
+        if pivot_rank >= target:
+            remaining = pivot_rank
+        else:
+            target -= pivot_rank
+            remaining -= pivot_rank
+    return cycles

@@ -1,0 +1,229 @@
+"""The Mapping Unit: all four mapping operations on one ranking kernel.
+
+Functional results delegate to the reference algorithms in
+``repro.mapping`` (they are bit-identical to the sorting-network models —
+property-tested in ``tests/core/test_mpu_*``); cycle/energy/traffic stats
+come from the closed-form models of the pipeline stages:
+
+* kernel mapping — per offset, one streaming-merge pass of the shifted
+  input against the output cloud with the intersection detector fused in
+  (Fig. 9); clouds arrive sorted (SparseTensor invariant), so no sort pass.
+* FPS — m iterations of distance-update + running arg-max through the
+  FS/CD/ST forwarding loop (Fig. 7 blue path).
+* kNN / ball query — per query, distance computation streamed into the
+  truncated merge-tree TopK (Fig. 7 green path).
+* quantization — bit-clearing plus adjacent-duplicate removal on the
+  already-sorted stream.
+
+Per-element on-chip storage is KEY_BYTES (packed coordinates / distance)
+plus PAYLOAD_BYTES (point index) — the ComparatorStruct layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...mapping.ball_query import ball_query_maps
+from ...mapping.fps import farthest_point_sampling
+from ...mapping.kernel_map import kernel_map_mergesort
+from ...mapping.knn import knn_maps
+from ...mapping.maps import MapTable
+from ...pointcloud.coords import quantize_unique
+from ..config import PointAccConfig
+from .bitonic import merger_comparators
+from .intersection import detector_stages
+from .merge_stream import streaming_merge_cycles
+from .topk import sort_cycles, topk_cycles
+
+__all__ = ["MPUStats", "MappingUnit", "KEY_BYTES", "PAYLOAD_BYTES"]
+
+KEY_BYTES = 8  # packed coordinate / distance key
+PAYLOAD_BYTES = 4  # point index
+ELEMENT_BYTES = KEY_BYTES + PAYLOAD_BYTES
+MAP_ENTRY_BYTES = 12  # (in idx, out idx, weight idx) x int32
+
+
+@dataclass
+class MPUStats:
+    """Work counters for one mapping operation."""
+
+    cycles: int = 0
+    compare_ops: int = 0
+    distance_ops: int = 0
+    sram_bytes: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+
+    def add(self, other: "MPUStats") -> None:
+        self.cycles += other.cycles
+        self.compare_ops += other.compare_ops
+        self.distance_ops += other.distance_ops
+        self.sram_bytes += other.sram_bytes
+        self.dram_read_bytes += other.dram_read_bytes
+        self.dram_write_bytes += other.dram_write_bytes
+
+
+class MappingUnit:
+    """Cycle-level model of the MPU for one :class:`PointAccConfig`."""
+
+    def __init__(self, config: PointAccConfig) -> None:
+        self.config = config
+        self.width = config.merger_width
+        self.lanes = config.mpu_lanes
+        self._merge_ops_per_cycle = merger_comparators(self.width)
+        self._sorter_capacity = int(config.sram.sorter_kb * 1024)
+
+    # ------------------------------------------------------------------
+    # Kernel mapping (SparseConv)
+    # ------------------------------------------------------------------
+
+    def kernel_map(
+        self,
+        in_coords: np.ndarray,
+        out_coords: np.ndarray,
+        kernel_size: int = 3,
+        tensor_stride: int = 1,
+        offsets: np.ndarray | None = None,
+        presorted: bool = True,
+    ) -> tuple[MapTable, MPUStats]:
+        """Merge-sort kernel mapping over all kernel offsets."""
+        maps = kernel_map_mergesort(
+            in_coords, out_coords, kernel_size, tensor_stride, offsets
+        )
+        n_in, n_out = len(in_coords), len(out_coords)
+        k_vol = maps.kernel_volume
+        stats = MPUStats()
+        if not presorted:
+            stats.cycles += sort_cycles(n_in, self.width)
+            stats.cycles += sort_cycles(n_out, self.width)
+        merge_cycles = streaming_merge_cycles(n_in, n_out, self.width)
+        # DI is spatially pipelined after MS; only the fill latency adds.
+        fill = detector_stages(self.width)
+        stats.cycles += k_vol * (merge_cycles + fill)
+        stats.compare_ops += k_vol * (
+            merge_cycles * self._merge_ops_per_cycle + (n_in + n_out)
+        )
+        # Coordinates stream from DRAM once per offset pass (clouds exceed
+        # the sorter buffer at realistic sizes); maps stream out once.
+        stream_bytes = float(k_vol * (n_in + n_out) * ELEMENT_BYTES)
+        stats.sram_bytes += stream_bytes
+        stats.dram_read_bytes += stream_bytes
+        stats.dram_write_bytes += float(maps.n_maps * MAP_ENTRY_BYTES)
+        return maps, stats
+
+    def hash_kernel_map_cycles(
+        self, n_in: int, n_out: int, kernel_volume: int
+    ) -> int:
+        """Cycle model of the hash-table alternative (Section 4.1.1 ablation).
+
+        Build: insert n_in keys, then probe every (output, offset) pair.
+        Open addressing at load factor ~0.5 averages ~1.5 SRAM touches per
+        operation; the banked table keeps all lanes busy in the common case
+        (conflicts are second-order and folded into the probe factor).
+        """
+        probes_per_op = 1.5
+        build = -(-int(n_in * probes_per_op) // self.lanes)
+        probe = -(-int(n_out * kernel_volume * probes_per_op) // self.lanes)
+        return build + probe
+
+    # ------------------------------------------------------------------
+    # Farthest point sampling
+    # ------------------------------------------------------------------
+
+    def fps(self, points: np.ndarray, n_samples: int) -> tuple[np.ndarray, MPUStats]:
+        """FPS via the distance-update/arg-max forwarding loop."""
+        indices = farthest_point_sampling(points, n_samples)
+        n = len(points)
+        m = len(indices)
+        stats = MPUStats()
+        per_iter = -(-n // self.lanes)
+        stats.cycles = m * per_iter
+        stats.distance_ops = m * n
+        stats.compare_ops = m * n  # min-update plus running arg-max
+        element_bytes = n * ELEMENT_BYTES
+        # Distances live in the sorter buffer when they fit; otherwise each
+        # iteration re-streams them from DRAM.
+        if element_bytes <= self._sorter_capacity:
+            stats.dram_read_bytes = float(element_bytes)
+            stats.sram_bytes = float(2 * m * element_bytes)  # read + update
+        else:
+            stats.dram_read_bytes = float(m * element_bytes)
+            stats.sram_bytes = float(m * element_bytes)
+        stats.dram_write_bytes = float(m * PAYLOAD_BYTES)
+        return indices, stats
+
+    # ------------------------------------------------------------------
+    # kNN / ball query
+    # ------------------------------------------------------------------
+
+    def _topk_search_stats(
+        self, n_queries: int, n_refs: int, k: int, distance_dim: int
+    ) -> MPUStats:
+        stats = MPUStats()
+        # The CD stage's per-lane datapath evaluates up to 8 coordinate
+        # dimensions per cycle (3-D point distances in one pass);
+        # feature-space distances (graph convs) take ceil(dim/8) passes.
+        dim_factor = -(-distance_dim // 8)
+        distance_cycles = -(-n_refs // self.lanes) * dim_factor
+        select_cycles = topk_cycles(n_refs, k, self.width)
+        # The TopK pipeline overlaps the next query's distance computation.
+        per_query = max(distance_cycles, select_cycles)
+        stats.cycles = n_queries * per_query
+        stats.distance_ops = n_queries * n_refs * dim_factor
+        stats.compare_ops = n_queries * select_cycles * self._merge_ops_per_cycle
+        ref_bytes = n_refs * ELEMENT_BYTES
+        if ref_bytes <= self._sorter_capacity:
+            stats.dram_read_bytes = float(ref_bytes)
+            stats.sram_bytes = float(n_queries * ref_bytes)
+        else:
+            stats.dram_read_bytes = float(n_queries * ref_bytes)
+            stats.sram_bytes = float(n_queries * ref_bytes)
+        stats.dram_write_bytes = float(n_queries * k * MAP_ENTRY_BYTES)
+        return stats
+
+    def knn(
+        self,
+        queries: np.ndarray,
+        references: np.ndarray,
+        k: int,
+        distance_dim: int | None = None,
+    ) -> tuple[MapTable, MPUStats]:
+        maps = knn_maps(queries, references, k)
+        dim = distance_dim if distance_dim is not None else queries.shape[1]
+        stats = self._topk_search_stats(len(queries), len(references), k, dim)
+        return maps, stats
+
+    def ball_query(
+        self,
+        queries: np.ndarray,
+        references: np.ndarray,
+        radius: float,
+        k: int,
+    ) -> tuple[MapTable, MPUStats]:
+        """Ball query: TopK plus a free radius threshold in the comparators."""
+        maps = ball_query_maps(queries, references, radius, k)
+        stats = self._topk_search_stats(
+            len(queries), len(references), k, queries.shape[1]
+        )
+        return maps, stats
+
+    # ------------------------------------------------------------------
+    # Coordinate quantization (output cloud construction)
+    # ------------------------------------------------------------------
+
+    def quantize(
+        self, coords: np.ndarray, tensor_stride: int
+    ) -> tuple[np.ndarray, np.ndarray, MPUStats]:
+        """Downsample by bit-clearing + adjacent-duplicate removal."""
+        out_coords, inverse = quantize_unique(coords, tensor_stride)
+        n = len(coords)
+        stats = MPUStats()
+        stats.cycles = -(-n // self.width)  # streamed through the detector
+        stats.compare_ops = max(n - 1, 0)
+        stream = float(n * ELEMENT_BYTES)
+        stats.sram_bytes = stream
+        stats.dram_read_bytes = stream
+        stats.dram_write_bytes = float(len(out_coords) * ELEMENT_BYTES)
+        return out_coords, inverse, stats

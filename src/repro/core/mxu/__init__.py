@@ -1,0 +1,5 @@
+"""Matrix Unit (paper Section 4.3): systolic-array matmul."""
+
+from .systolic import MatrixUnit, MXUStats, systolic_matmul
+
+__all__ = ["MatrixUnit", "MXUStats", "systolic_matmul"]

@@ -1,0 +1,58 @@
+"""Experiment runners: one module per table/figure of the evaluation.
+
+Every runner exposes ``run(scale=1.0, seed=0) -> ExperimentResult`` whose
+``table()`` renders the regenerated artifact next to the paper's reference
+values.  ``benchmarks/`` wraps each runner in a pytest-benchmark target.
+"""
+
+from . import (
+    abl_design_space,
+    abl_dram_timing,
+    abl_scaling,
+    abl_hash_vs_mergesort,
+    abl_topk,
+    fig02_motivation,
+    fig05_characterization,
+    fig06_bottleneck,
+    fig13_server,
+    fig14_edge,
+    fig15_mesorasi,
+    fig16_codesign,
+    fig17_source_of_gain,
+    fig18_cache,
+    fig19_dram,
+    fig20_fusion,
+    fig21_breakdown,
+    tab02_benchmarks,
+    tab03_asic,
+)
+from .common import ExperimentResult, format_table, geomean
+
+ALL_EXPERIMENTS = {
+    "fig02": fig02_motivation,
+    "fig05": fig05_characterization,
+    "fig06": fig06_bottleneck,
+    "tab02": tab02_benchmarks,
+    "tab03": tab03_asic,
+    "fig13": fig13_server,
+    "fig14": fig14_edge,
+    "fig15": fig15_mesorasi,
+    "fig16": fig16_codesign,
+    "fig17": fig17_source_of_gain,
+    "fig18": fig18_cache,
+    "fig19": fig19_dram,
+    "fig20": fig20_fusion,
+    "fig21": fig21_breakdown,
+    "abl-hash": abl_hash_vs_mergesort,
+    "abl-topk": abl_topk,
+    "abl-dse": abl_design_space,
+    "abl-dram": abl_dram_timing,
+    "abl-scale": abl_scaling,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,133 @@
+"""Design-space ablations of the choices DESIGN.md calls out.
+
+The paper fixes one design point per configuration (Table 3); these sweeps
+show *why* those points are reasonable by varying one axis at a time on the
+headline MinkNet(o) workload:
+
+* systolic-array size (PE count at fixed everything else) — latency floors
+  out once the array outruns DRAM;
+* merger width N — mapping time scales ~1/N until it vanishes under the
+  matmul time (the paper's N=64 sits past the knee);
+* DRAM technology — HBM2 vs DDR4 vs LPDDR3 at the full configuration
+  (why the edge part is DDR4 while the full part needs HBM2);
+* input-buffer capacity — cache miss traffic vs SRAM spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.accelerator import PointAccModel
+from ..core.config import (
+    DDR4_2133,
+    HBM2,
+    LPDDR3_1600,
+    POINTACC_FULL,
+    SRAMBudget,
+)
+from ..nn.models.registry import build_trace
+from .common import ExperimentResult
+
+__all__ = ["run", "sweep_pe_array", "sweep_merger_width", "sweep_dram",
+           "sweep_input_buffer"]
+
+NETWORK = "MinkNet(o)"
+
+
+def sweep_pe_array(trace) -> list[dict]:
+    rows = []
+    for dim in (16, 32, 64, 128):
+        config = replace(POINTACC_FULL, pe_rows=dim, pe_cols=dim,
+                         name=f"{dim}x{dim}")
+        rep = PointAccModel(config).run(trace)
+        rows.append({
+            "dim": dim,
+            "latency_ms": rep.total_seconds * 1e3,
+            "energy_mj": rep.energy_joules * 1e3,
+            "matmul_frac": rep.latency_fractions()["matmul"],
+        })
+    return rows
+
+
+def sweep_merger_width(trace) -> list[dict]:
+    rows = []
+    for width in (8, 16, 32, 64, 128):
+        config = replace(POINTACC_FULL, merger_width=width,
+                         name=f"N={width}")
+        rep = PointAccModel(config).run(trace)
+        breakdown = rep.latency_breakdown()
+        rows.append({
+            "width": width,
+            "latency_ms": rep.total_seconds * 1e3,
+            "mapping_ms": breakdown["mapping"] * 1e3,
+        })
+    return rows
+
+
+def sweep_dram(trace) -> list[dict]:
+    rows = []
+    for dram in (HBM2, DDR4_2133, LPDDR3_1600):
+        config = replace(POINTACC_FULL, dram=dram, name=dram.name)
+        rep = PointAccModel(config).run(trace)
+        frac = rep.latency_fractions()
+        rows.append({
+            "dram": dram.name,
+            "latency_ms": rep.total_seconds * 1e3,
+            "movement_frac": frac["movement"],
+            "energy_mj": rep.energy_joules * 1e3,
+        })
+    return rows
+
+
+def sweep_input_buffer(trace) -> list[dict]:
+    rows = []
+    base = POINTACC_FULL.sram
+    for input_kb in (32, 64, 128, 256, 512):
+        sram = SRAMBudget(
+            input_kb=float(input_kb), weight_kb=base.weight_kb,
+            output_kb=base.output_kb, sorter_kb=base.sorter_kb,
+            merger_kb=base.merger_kb, map_fifo_kb=base.map_fifo_kb,
+            misc_kb=base.misc_kb,
+        )
+        config = replace(POINTACC_FULL, sram=sram, name=f"in={input_kb}KB")
+        rep = PointAccModel(config).run(trace)
+        rows.append({
+            "input_kb": input_kb,
+            "dram_mb": rep.dram_bytes / 1e6,
+            "latency_ms": rep.total_seconds * 1e3,
+        })
+    return rows
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trace = build_trace(NETWORK, scale=scale, seed=seed)
+    pe = sweep_pe_array(trace)
+    width = sweep_merger_width(trace)
+    dram = sweep_dram(trace)
+    buffers = sweep_input_buffer(trace)
+    rows = []
+    for r in pe:
+        rows.append(["PE array", f"{r['dim']}x{r['dim']}",
+                     f"{r['latency_ms']:.2f} ms",
+                     f"{r['energy_mj']:.1f} mJ",
+                     f"matmul {r['matmul_frac'] * 100:.0f}%"])
+    for r in width:
+        rows.append(["merger width", f"N={r['width']}",
+                     f"{r['latency_ms']:.2f} ms",
+                     f"mapping {r['mapping_ms']:.3f} ms", ""])
+    for r in dram:
+        rows.append(["DRAM", r["dram"], f"{r['latency_ms']:.2f} ms",
+                     f"{r['energy_mj']:.1f} mJ",
+                     f"movement {r['movement_frac'] * 100:.0f}%"])
+    for r in buffers:
+        rows.append(["input buffer", f"{r['input_kb']} KB",
+                     f"{r['latency_ms']:.2f} ms",
+                     f"DRAM {r['dram_mb']:.1f} MB", ""])
+    return ExperimentResult(
+        experiment_id="abl-dse",
+        title=f"Design-space sweeps on {NETWORK}",
+        headers=["axis", "point", "latency", "metric", "note"],
+        rows=rows,
+        data={"pe": pe, "merger_width": width, "dram": dram,
+              "input_buffer": buffers},
+    )

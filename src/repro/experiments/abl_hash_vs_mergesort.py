@@ -1,0 +1,66 @@
+"""Section 4.1.1 ablation — merge-sort vs hash-table kernel mapping on-chip.
+
+Paper: "our mergesort-based solution could provide 1.4x speedup while
+saving up to 14x area compared to the hash-table-based design with the same
+parallelism."  Cycles come from the two MPU cost models on a real
+downsampling layer; area from the 40 nm component model.
+"""
+
+from __future__ import annotations
+
+from ..core.area import AreaModel
+from ..core.config import POINTACC_EDGE, POINTACC_FULL
+from ..core.mpu.unit import MappingUnit
+from ..nn.models.registry import build_trace
+from ..nn.trace import LayerKind
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_SPEEDUP", "PAPER_AREA_RATIO"]
+
+PAPER_SPEEDUP = 1.4
+PAPER_AREA_RATIO = 14.0
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trace = build_trace("MinkNet(o)", scale=scale, seed=seed)
+    kmaps = [
+        s for s in trace.by_kind(LayerKind.MAP_KERNEL)
+        if not s.params.get("cached")
+    ]
+    rows = []
+    data: dict = {"layers": [], "area": {}}
+    for config in (POINTACC_FULL, POINTACC_EDGE):
+        mpu = MappingUnit(config)
+        from ..core.accelerator import PointAccModel
+
+        model = PointAccModel(config)
+        merge_total = hash_total = 0.0
+        for spec in kmaps:
+            merge_total += model._mapping_stats(spec).cycles
+            hash_total += mpu.hash_kernel_map_cycles(
+                spec.n_in, spec.n_out, spec.kernel_volume
+            )
+        speedup = hash_total / merge_total
+        area = AreaModel(config)
+        area_ratio = area.hash_vs_mergesort_ratio()
+        data["layers"].append(
+            {"config": config.name, "merge_cycles": merge_total,
+             "hash_cycles": hash_total, "speedup": speedup,
+             "area_ratio": area_ratio}
+        )
+        rows.append([
+            config.name,
+            f"{merge_total:.0f}",
+            f"{hash_total:.0f}",
+            f"{speedup:.2f}x (paper {PAPER_SPEEDUP}x)",
+            f"{area_ratio:.1f}x (paper up to {PAPER_AREA_RATIO:.0f}x)",
+        ])
+    return ExperimentResult(
+        experiment_id="abl-hash",
+        title="Merge-sort vs hash-table kernel mapping "
+              f"({len(kmaps)} uncached layers of MinkNet(o))",
+        headers=["config", "mergesort cycles", "hash cycles",
+                 "mergesort speedup", "hash area penalty"],
+        rows=rows,
+        data=data,
+    )

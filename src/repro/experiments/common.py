@@ -1,0 +1,113 @@
+"""Shared infrastructure for the experiment runners.
+
+Every experiment regenerates one table or figure of the paper's evaluation.
+Runners share cached traces (``repro.nn.models.build_trace``) and cached
+platform reports so a full evaluation sweep builds each network exactly
+once.  ``scale`` rescales input point counts (1.0 = the paper-like sizes,
+small values for quick tests); the *shape* of every result — who wins, by
+roughly what factor — is stable across scales, which tests exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..baselines.mesorasi import MesorasiHW
+from ..baselines.registry import get_platform
+from ..core.accelerator import PointAccModel
+from ..core.config import POINTACC_EDGE, POINTACC_FULL
+from ..core.report import PerfReport
+from ..nn.models.registry import BENCHMARKS, build_trace
+
+__all__ = [
+    "geomean",
+    "format_table",
+    "pointacc_report",
+    "edge_report",
+    "platform_report",
+    "mesorasi_report",
+    "ExperimentResult",
+    "ALL_BENCHMARKS",
+    "MESORASI_BENCHMARKS",
+]
+
+ALL_BENCHMARKS = tuple(BENCHMARKS)
+MESORASI_BENCHMARKS = (
+    "PointNet++(c)",
+    "PointNet++(ps)",
+    "F-PointNet++",
+    "PointNet++(s)",
+)
+
+
+def geomean(values) -> float:
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Plain-text table for benchmark output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Standard return type: id, headers/rows for printing, raw data dict."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    data: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+
+
+_POINTACC = PointAccModel(POINTACC_FULL)
+_EDGE = PointAccModel(POINTACC_EDGE)
+_MESORASI = MesorasiHW()
+
+
+@lru_cache(maxsize=128)
+def pointacc_report(notation: str, scale: float = 1.0, seed: int = 0) -> PerfReport:
+    return _POINTACC.run(build_trace(notation, scale=scale, seed=seed))
+
+
+@lru_cache(maxsize=128)
+def edge_report(notation: str, scale: float = 1.0, seed: int = 0) -> PerfReport:
+    return _EDGE.run(build_trace(notation, scale=scale, seed=seed))
+
+
+@lru_cache(maxsize=256)
+def platform_report(
+    platform: str, notation: str, scale: float = 1.0, seed: int = 0
+) -> PerfReport:
+    model = get_platform(platform)
+    return model.run(build_trace(notation, scale=scale, seed=seed))
+
+
+@lru_cache(maxsize=64)
+def mesorasi_report(notation: str, scale: float = 1.0, seed: int = 0) -> PerfReport:
+    return _MESORASI.run(build_trace(notation, scale=scale, seed=seed))

@@ -1,0 +1,67 @@
+"""Fig. 2 — point-cloud networks vs 2D CNNs: accuracy, #MACs, GPU latency.
+
+Paper claims: on SemanticKITTI segmentation, 3D point-cloud networks reach
+higher mIoU with ~7x fewer MACs than 2D-projection CNNs, yet run ~1.3x
+*slower* on a 2080Ti because of sparsity and irregularity.
+
+Accuracies are published values (we cannot re-train; see DESIGN.md); MACs
+for point-cloud networks are measured from our traces; GPU latencies come
+from the calibrated 2080Ti model, with the dense 2D CNNs costed at the
+same platform's dense-matmul roofline.
+"""
+
+from __future__ import annotations
+
+from ..analysis.macs import CNN_2D_SEG
+from ..baselines.registry import RTX_2080TI
+from ..nn.models.registry import get_benchmark, build_trace
+from .common import ExperimentResult, platform_report
+
+__all__ = ["run", "POINT_CLOUD_NETS"]
+
+POINT_CLOUD_NETS = ("MinkNet(o)",)  # SemanticKITTI segmentation in our suite
+# Published numbers used for context alongside our measured MinkNet(o).
+PUBLISHED_3D = {"MinkowskiNet": (61.1, 114.0), "SPVNAS": (63.7, 34.7)}
+
+
+def _dense_cnn_gpu_latency_s(total_gmacs: float) -> float:
+    """Dense 2D CNN on the 2080Ti model: dense roofline, high utilization."""
+    flops = 2.0 * total_gmacs * 1e9
+    return flops / (RTX_2080TI.peak_gflops * 1e9 * RTX_2080TI.dense_efficiency)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    rows = []
+    data: dict = {"2d": {}, "3d": {}}
+    for ref in CNN_2D_SEG:
+        lat = _dense_cnn_gpu_latency_s(ref.total_gmacs)
+        data["2d"][ref.name] = {
+            "miou": ref.accuracy, "gmacs": ref.total_gmacs, "gpu_ms": lat * 1e3,
+        }
+        rows.append([
+            f"{ref.name} (2D)", f"{ref.accuracy:.1f}",
+            f"{ref.total_gmacs:.1f}", f"{lat * 1e3:.1f}",
+        ])
+    for net in POINT_CLOUD_NETS:
+        trace = build_trace(net, scale=scale, seed=seed)
+        rep = platform_report("RTX 2080Ti", net, scale, seed)
+        miou = get_benchmark(net).published["miou"]
+        data["3d"][net] = {
+            "miou": miou,
+            "gmacs": trace.total_macs / 1e9,
+            "gpu_ms": rep.total_seconds * 1e3,
+        }
+        rows.append([
+            f"{net} (3D)", f"{miou:.1f}",
+            f"{trace.total_macs / 1e9:.1f}", f"{rep.total_seconds * 1e3:.1f}",
+        ])
+    for name, (miou, gmacs) in PUBLISHED_3D.items():
+        rows.append([f"{name} (3D, published)", f"{miou:.1f}", f"{gmacs:.1f}", "-"])
+    return ExperimentResult(
+        experiment_id="fig02",
+        title="2D-projection CNNs vs 3D point-cloud networks "
+              "(SemanticKITTI segmentation)",
+        headers=["network", "mIoU", "GMACs", "2080Ti latency (ms)"],
+        rows=rows,
+        data=data,
+    )

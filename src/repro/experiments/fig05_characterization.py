@@ -1,0 +1,62 @@
+"""Fig. 5 — dataset density, #MACs per point, feature bytes per point.
+
+Paper claims: point-cloud datasets are up to four orders of magnitude
+sparser than ImageNet; point-cloud networks spend up to 100x more MACs per
+point and 100x more feature bytes per point than 2D CNNs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.density import IMAGENET_DENSITY, dataset_density
+from ..analysis.macs import CNN_REFERENCES, benchmark_workload
+from ..pointcloud.datasets import DATASETS
+from .common import ALL_BENCHMARKS, ExperimentResult
+
+__all__ = ["run", "PAPER_DENSITY_BANDS"]
+
+# Order-of-magnitude densities from Fig. 5 (left).
+PAPER_DENSITY_BANDS = {
+    "modelnet40": (1e-3, 1e-1),
+    "shapenet": (1e-3, 1e-1),
+    "kitti": (1e-5, 1e-3),
+    "s3dis": (1e-3, 1e-1),
+    "semantickitti": (1e-5, 1e-3),
+}
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    rows = [["ImageNet", "-", f"{IMAGENET_DENSITY:.0e}", "-", "-"]]
+    density = {}
+    for name in DATASETS:
+        res = dataset_density(name, seed=seed, scale=scale)
+        density[name] = res.density
+        band = PAPER_DENSITY_BANDS[name]
+        rows.append([
+            name, f"{res.n_voxels}", f"{res.density:.1e}",
+            f"{band[0]:.0e}..{band[1]:.0e}",
+            "yes" if band[0] <= res.density <= band[1] else "NO",
+        ])
+    workload_rows = []
+    workloads = {}
+    for ref in CNN_REFERENCES:
+        workload_rows.append([
+            ref.name, "-", f"{ref.macs_per_point:.1e}",
+            f"{ref.feature_bytes_per_point:.0f}",
+        ])
+    for net in ALL_BENCHMARKS:
+        stats = benchmark_workload(net, scale=scale, seed=seed)
+        workloads[net] = stats
+        workload_rows.append([
+            net, f"{stats.n_points}", f"{stats.macs_per_point:.1e}",
+            f"{stats.feature_bytes_per_point:.0f}",
+        ])
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Dataset density (top) and per-point workload (bottom)",
+        headers=["dataset/network", "points", "density | MACs/pt",
+                 "paper band | feat B/pt", "in band"],
+        rows=rows + [["--", "--", "--", "--", "--"]] + [
+            r + [""] for r in workload_rows
+        ],
+        data={"density": density, "workloads": workloads},
+    )

@@ -1,0 +1,98 @@
+"""Fig. 13 — PointAcc vs server platforms (RTX 2080Ti, TPU V3, Xeon 6130).
+
+Paper headline: 3.7x / 53x / 90x speedup and 22x / 210x / 176x energy
+savings (geomean over the 8-network suite).
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ALL_BENCHMARKS,
+    ExperimentResult,
+    geomean,
+    platform_report,
+    pointacc_report,
+)
+
+__all__ = ["PAPER_SPEEDUP", "PAPER_ENERGY", "run"]
+
+PLATFORMS = ("RTX 2080Ti", "Xeon Skylake + TPU V3", "Xeon Gold 6130")
+
+# Paper Fig. 13 per-benchmark bars (speedup of PointAcc over each platform).
+PAPER_SPEEDUP = {
+    "RTX 2080Ti": {
+        "PointNet": 3.7, "PointNet++(c)": 2.8, "PointNet++(ps)": 2.8,
+        "DGCNN": 3.7, "F-PointNet++": 3.7, "PointNet++(s)": 4.7,
+        "MinkNet(i)": 8.3, "MinkNet(o)": 2.4, "GeoMean": 3.7,
+    },
+    "Xeon Skylake + TPU V3": {
+        "PointNet": 27, "PointNet++(c)": 113, "PointNet++(ps)": 37,
+        "DGCNN": 3.4, "F-PointNet++": 269, "PointNet++(s)": 88,
+        "MinkNet(i)": 102, "MinkNet(o)": 71, "GeoMean": 53,
+    },
+    "Xeon Gold 6130": {
+        "PointNet": 127, "PointNet++(c)": 97, "PointNet++(ps)": 82,
+        "DGCNN": 65, "F-PointNet++": 131, "PointNet++(s)": 106,
+        "MinkNet(i)": 94, "MinkNet(o)": 51, "GeoMean": 90,
+    },
+}
+
+PAPER_ENERGY = {
+    "RTX 2080Ti": {
+        "PointNet": 18, "PointNet++(c)": 14, "PointNet++(ps)": 25,
+        "DGCNN": 27, "F-PointNet++": 16, "PointNet++(s)": 45,
+        "MinkNet(i)": 36, "MinkNet(o)": 13, "GeoMean": 22,
+    },
+    "Xeon Skylake + TPU V3": {
+        "PointNet": 1319, "PointNet++(c)": 169, "PointNet++(ps)": 99,
+        "DGCNN": 38, "F-PointNet++": 682, "PointNet++(s)": 161,
+        "MinkNet(i)": 324, "MinkNet(o)": 127, "GeoMean": 210,
+    },
+    "Xeon Gold 6130": {
+        "PointNet": 172, "PointNet++(c)": 119, "PointNet++(ps)": 152,
+        "DGCNN": 91, "F-PointNet++": 394, "PointNet++(s)": 221,
+        "MinkNet(i)": 268, "MinkNet(o)": 139, "GeoMean": 176,
+    },
+}
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Measure speedup/energy of PointAcc over each server platform."""
+    headers = ["network"]
+    for plat in PLATFORMS:
+        headers += [f"{plat} speedup", "(paper)", f"{plat} energy", "(paper)"]
+    rows = []
+    data: dict = {"speedup": {p: {} for p in PLATFORMS},
+                  "energy": {p: {} for p in PLATFORMS}}
+    for net in ALL_BENCHMARKS:
+        pa = pointacc_report(net, scale, seed)
+        row = [net]
+        for plat in PLATFORMS:
+            rep = platform_report(plat, net, scale, seed)
+            speedup = rep.total_seconds / pa.total_seconds
+            energy = rep.energy_joules / pa.energy_joules
+            data["speedup"][plat][net] = speedup
+            data["energy"][plat][net] = energy
+            row += [
+                f"{speedup:.1f}x", f"{PAPER_SPEEDUP[plat][net]:.1f}x",
+                f"{energy:.0f}x", f"{PAPER_ENERGY[plat][net]:.0f}x",
+            ]
+        rows.append(row)
+    geo_row = ["GeoMean"]
+    for plat in PLATFORMS:
+        gs = geomean(data["speedup"][plat].values())
+        ge = geomean(data["energy"][plat].values())
+        data["speedup"][plat]["GeoMean"] = gs
+        data["energy"][plat]["GeoMean"] = ge
+        geo_row += [
+            f"{gs:.1f}x", f"{PAPER_SPEEDUP[plat]['GeoMean']:.1f}x",
+            f"{ge:.0f}x", f"{PAPER_ENERGY[plat]['GeoMean']:.0f}x",
+        ]
+    rows.append(geo_row)
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="PointAcc speedup / energy savings over server platforms",
+        headers=headers,
+        rows=rows,
+        data=data,
+    )

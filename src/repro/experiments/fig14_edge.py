@@ -1,0 +1,97 @@
+"""Fig. 14 — PointAcc.Edge vs edge devices (Jetson NX / Nano, Raspberry Pi).
+
+Paper headline: 2.5x / 9.8x / 141x speedup and 7.8x / 16x / 127x energy
+savings (geomean over the 8-network suite).
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ALL_BENCHMARKS,
+    ExperimentResult,
+    edge_report,
+    geomean,
+    platform_report,
+)
+
+__all__ = ["PAPER_SPEEDUP", "PAPER_ENERGY", "run"]
+
+PLATFORMS = ("Jetson Xavier NX", "Jetson Nano", "Raspberry Pi 4B")
+
+PAPER_SPEEDUP = {
+    "Jetson Xavier NX": {
+        "PointNet": 2.2, "PointNet++(c)": 2.3, "PointNet++(ps)": 2.7,
+        "DGCNN": 3.4, "F-PointNet++": 2.8, "PointNet++(s)": 4.6,
+        "MinkNet(i)": 2.1, "MinkNet(o)": 1.3, "GeoMean": 2.5,
+    },
+    "Jetson Nano": {
+        "PointNet": 6.7, "PointNet++(c)": 7.8, "PointNet++(ps)": 10,
+        "DGCNN": 14, "F-PointNet++": 11, "PointNet++(s)": 23,
+        "MinkNet(i)": 8.3, "MinkNet(o)": 5.4, "GeoMean": 9.8,
+    },
+    "Raspberry Pi 4B": {
+        "PointNet": 148, "PointNet++(c)": 159, "PointNet++(ps)": 156,
+        "DGCNN": 131, "F-PointNet++": 262, "PointNet++(s)": 181,
+        "MinkNet(i)": 107, "MinkNet(o)": 63, "GeoMean": 141,
+    },
+}
+
+PAPER_ENERGY = {
+    "Jetson Xavier NX": {
+        "PointNet": 9.0, "PointNet++(c)": 7.3, "PointNet++(ps)": 11,
+        "DGCNN": 12, "F-PointNet++": 7.8, "PointNet++(s)": 15,
+        "MinkNet(i)": 4.4, "MinkNet(o)": 3.2, "GeoMean": 7.8,
+    },
+    "Jetson Nano": {
+        "PointNet": 19, "PointNet++(c)": 12, "PointNet++(ps)": 17,
+        "DGCNN": 23, "F-PointNet++": 21, "PointNet++(s)": 40,
+        "MinkNet(i)": 8.5, "MinkNet(o)": 7.2, "GeoMean": 16,
+    },
+    "Raspberry Pi 4B": {
+        "PointNet": 273, "PointNet++(c)": 159, "PointNet++(ps)": 129,
+        "DGCNN": 110, "F-PointNet++": 250, "PointNet++(s)": 156,
+        "MinkNet(i)": 66, "MinkNet(o)": 44, "GeoMean": 127,
+    },
+}
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Measure speedup/energy of PointAcc.Edge over each edge device."""
+    headers = ["network"]
+    for plat in PLATFORMS:
+        headers += [f"{plat} speedup", "(paper)", f"{plat} energy", "(paper)"]
+    rows = []
+    data: dict = {"speedup": {p: {} for p in PLATFORMS},
+                  "energy": {p: {} for p in PLATFORMS}}
+    for net in ALL_BENCHMARKS:
+        edge = edge_report(net, scale, seed)
+        row = [net]
+        for plat in PLATFORMS:
+            rep = platform_report(plat, net, scale, seed)
+            speedup = rep.total_seconds / edge.total_seconds
+            energy = rep.energy_joules / edge.energy_joules
+            data["speedup"][plat][net] = speedup
+            data["energy"][plat][net] = energy
+            row += [
+                f"{speedup:.1f}x", f"{PAPER_SPEEDUP[plat][net]:.1f}x",
+                f"{energy:.0f}x", f"{PAPER_ENERGY[plat][net]:.0f}x",
+            ]
+        rows.append(row)
+    geo_row = ["GeoMean"]
+    for plat in PLATFORMS:
+        gs = geomean(data["speedup"][plat].values())
+        ge = geomean(data["energy"][plat].values())
+        data["speedup"][plat]["GeoMean"] = gs
+        data["energy"][plat]["GeoMean"] = ge
+        geo_row += [
+            f"{gs:.1f}x", f"{PAPER_SPEEDUP[plat]['GeoMean']:.1f}x",
+            f"{ge:.0f}x", f"{PAPER_ENERGY[plat]['GeoMean']:.0f}x",
+        ]
+    rows.append(geo_row)
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="PointAcc.Edge speedup / energy savings over edge devices",
+        headers=headers,
+        rows=rows,
+        data=data,
+    )

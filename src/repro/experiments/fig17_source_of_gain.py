@@ -1,0 +1,123 @@
+"""Fig. 17 — source of performance gain, operation-level breakdowns.
+
+Left: kernel mapping of the first downsampling SparseConv block on
+SemanticKITTI — merge-sort vs hash-table algorithm on CPU, GPU and
+PointAcc.  Paper: the merge-sort algorithm *loses* on CPU/GPU (intersection
+detection scans twice the elements) but wins 1.4x on PointAcc after circuit
+specialization.
+
+Right: the convolution of the first MinkowskiUNet layer — Gather-MatMul-
+Scatter vs Fetch-on-Demand flow on GPU and PointAcc.  Paper: F-D hurts the
+GPU (fragmented matrix-vector work) but lets PointAcc spend about as long
+on the whole conv as G-S spends on its matmul alone.
+"""
+
+from __future__ import annotations
+
+from ..baselines.registry import RTX_2080TI, XEON_6130
+from ..core.accelerator import PointAccModel
+from ..core.config import POINTACC_FULL
+from ..nn.models.registry import build_trace
+from ..nn.trace import LayerKind
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_POINTACC_HASH_SPEEDUP"]
+
+PAPER_POINTACC_HASH_SPEEDUP = 1.4  # merge-sort vs hash on PointAcc
+# Merge-sort on CPU/GPU: the DI pass scans the merged (doubled) stream and
+# the sort passes are memory-bound; ~9 abstract ops per element per offset
+# versus 5 per hash probe (Section 5.2.3's observed ~2x DI penalty).
+MERGESORT_OPS_PER_ELEM = 9.0
+HASH_OPS_PER_PROBE = 5.0
+
+
+def _first_downsample_kmap(trace):
+    for spec in trace:
+        if spec.kind is LayerKind.MAP_KERNEL and spec.n_out < spec.n_in:
+            return spec
+    raise RuntimeError("no downsampling kernel map in trace")
+
+
+def _first_sparse_conv(trace):
+    for spec in trace:
+        if spec.kind is LayerKind.SPARSE_CONV:
+            return spec
+    raise RuntimeError("no sparse conv in trace")
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    trace = build_trace("MinkNet(o)", scale=scale, seed=seed)
+    kmap = _first_downsample_kmap(trace)
+    conv = _first_sparse_conv(trace)
+    model = PointAccModel(POINTACC_FULL)
+    cfg = POINTACC_FULL
+
+    # ---- left panel: kernel mapping, hash vs merge-sort -------------------
+    n_in, n_out, k_vol = kmap.n_in, kmap.n_out, kmap.kernel_volume
+    hash_ops = HASH_OPS_PER_PROBE * (n_in + n_out * k_vol)
+    sort_ops = MERGESORT_OPS_PER_ELEM * k_vol * (n_in + n_out)
+    left = {}
+    for plat in (XEON_6130, RTX_2080TI):
+        left[plat.name] = {
+            "hash_ms": hash_ops / (plat.mapping_gops * 1e9) * 1e3,
+            "mergesort_ms": sort_ops / (plat.mapping_gops * 1e9) * 1e3,
+        }
+    # On-chip comparison at matched parallelism: engine cycles (both
+    # designs stream coordinates from DRAM identically, so the engine
+    # throughput is the differentiator the paper's 1.4x refers to).
+    mpu_stats = model._mapping_stats(kmap)
+    merge_s = cfg.cycles_to_seconds(mpu_stats.cycles)
+    hash_cycles = model.mpu.hash_kernel_map_cycles(n_in, n_out, k_vol)
+    hash_s = cfg.cycles_to_seconds(hash_cycles)
+    left["PointAcc"] = {"hash_ms": hash_s * 1e3, "mergesort_ms": merge_s * 1e3}
+
+    # ---- right panel: conv flow, G-S vs F-D --------------------------------
+    right = {}
+    # GPU G-S: gather + matmul + scatter times under the platform model.
+    gpu = RTX_2080TI
+    flops = 2.0 * conv.macs
+    gs_matmul = flops / (gpu.peak_gflops * 1e9 * gpu.sparse_efficiency)
+    moved = conv.n_maps * (conv.c_in + conv.c_out) * gpu.elem_bytes
+    gs_move = 2.0 * moved / (gpu.gather_gbps * 1e9)
+    # GPU F-D: decomposing the matmul into per-map matrix-vector products
+    # collapses GPU utilization (~32x below the batched gathered GEMM) —
+    # the overhead the paper observes dwarfing the data-movement saving.
+    fd_matmul = flops / (gpu.peak_gflops * 1e9 * gpu.sparse_efficiency / 32.0)
+    fd_move = moved / (gpu.mem_bw_gbps * 1e9)
+    right["RTX 2080Ti"] = {
+        "gather_scatter_ms": (gs_matmul + gs_move) * 1e3,
+        "gs_matmul_only_ms": gs_matmul * 1e3,
+        "fetch_on_demand_ms": (fd_matmul + fd_move) * 1e3,
+    }
+    # PointAcc both flows.
+    fd_record = model._sparse_conv_record(conv, flow="fetch_on_demand")
+    gs_record = model._sparse_conv_record(conv, flow="gather_scatter")
+    mxu_only_s = cfg.cycles_to_seconds(model.mxu.sparse_conv(conv).cycles)
+    right["PointAcc"] = {
+        "gather_scatter_ms": gs_record.seconds * 1e3,
+        "gs_matmul_only_ms": mxu_only_s * 1e3,
+        "fetch_on_demand_ms": fd_record.seconds * 1e3,
+    }
+
+    rows = []
+    for plat, vals in left.items():
+        ratio = vals["hash_ms"] / vals["mergesort_ms"]
+        rows.append([
+            "kernel mapping", plat, f"hash {vals['hash_ms']:.3f}",
+            f"mergesort {vals['mergesort_ms']:.3f}",
+            f"merge is {ratio:.2f}x vs hash",
+        ])
+    for plat, vals in right.items():
+        rows.append([
+            "convolution", plat, f"G-S {vals['gather_scatter_ms']:.3f}",
+            f"F-D {vals['fetch_on_demand_ms']:.3f}",
+            f"G-S matmul only {vals['gs_matmul_only_ms']:.3f}",
+        ])
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Kernel-mapping algorithm and conv-flow breakdowns (ms)",
+        headers=["panel", "platform", "variant A", "variant B", "note"],
+        rows=rows,
+        data={"kernel_mapping": left, "conv_flow": right,
+              "kmap_spec": {"n_in": n_in, "n_out": n_out, "k": k_vol}},
+    )

@@ -1,0 +1,57 @@
+"""Fig. 21 — latency and energy breakdown of PointAcc on MinkNet(o).
+
+Paper: with mapping supported on-chip and data movement overlapped behind
+the systolic array, MatMul dominates PointAcc's latency; energy splits
+roughly 74% compute / 6% SRAM / 20% DRAM — unlike prior accelerators where
+DRAM dominates.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentResult, platform_report, pointacc_report
+
+__all__ = ["run", "PAPER_ENERGY_PIE"]
+
+PAPER_ENERGY_PIE = {"compute": 0.74, "sram": 0.06, "dram": 0.20}
+NETWORK = "MinkNet(o)"
+COMPARED = (("Xeon Skylake + TPU V3", "CPU+TPU"), ("RTX 2080Ti", "GPU"))
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    pa = pointacc_report(NETWORK, scale, seed)
+    rows = []
+    data: dict = {"latency": {}, "energy_pie": {}}
+    for platform, label in COMPARED:
+        rep = platform_report(platform, NETWORK, scale, seed)
+        frac = rep.latency_fractions()
+        data["latency"][label] = {
+            "total_ms": rep.total_seconds * 1e3, **frac,
+        }
+        rows.append([
+            label, f"{rep.total_seconds * 1e3:.1f}",
+            f"{frac['mapping'] * 100:.0f}%", f"{frac['matmul'] * 100:.0f}%",
+            f"{frac['movement'] * 100:.0f}%",
+        ])
+    frac = pa.latency_fractions()
+    data["latency"]["PointAcc"] = {"total_ms": pa.total_seconds * 1e3, **frac}
+    rows.append([
+        "PointAcc", f"{pa.total_seconds * 1e3:.1f}",
+        f"{frac['mapping'] * 100:.0f}%", f"{frac['matmul'] * 100:.0f}%",
+        f"{frac['movement'] * 100:.0f}%",
+    ])
+    pie = pa.energy.breakdown()
+    data["energy_pie"] = pie
+    rows.append([
+        "PointAcc energy pie",
+        f"compute {pie['compute'] * 100:.0f}% (paper 74%)",
+        f"sram {pie['sram'] * 100:.0f}% (paper 6%)",
+        f"dram {pie['dram'] * 100:.0f}% (paper 20%)",
+        "",
+    ])
+    return ExperimentResult(
+        experiment_id="fig21",
+        title=f"PointAcc performance breakdown on {NETWORK}",
+        headers=["platform", "latency (ms)", "mapping", "matmul", "movement"],
+        rows=rows,
+        data=data,
+    )

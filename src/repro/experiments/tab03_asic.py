@@ -1,0 +1,64 @@
+"""Table 3 — ASIC configurations: PEs, SRAM, area, bandwidth, peak OPS.
+
+Areas come from the component model (``repro.core.area``); the paper's
+synthesized totals are 15.7 mm2 (full) and 3.9 mm2 (edge) at TSMC 40 nm.
+"""
+
+from __future__ import annotations
+
+from ..core.area import AreaModel
+from ..core.config import POINTACC_EDGE, POINTACC_FULL
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_AREA"]
+
+PAPER_AREA = {"PointAcc": 15.7, "PointAcc.Edge": 3.9}
+PAPER_MESORASI = {
+    "cores": "16x16=256", "sram_kb": 1624, "dram": "LPDDR3-1600",
+    "bandwidth": 12.8, "peak_gops": 512, "tech_nm": 16,
+}
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    rows = []
+    data = {}
+    for config in (POINTACC_FULL, POINTACC_EDGE):
+        area = AreaModel(config)
+        breakdown = area.breakdown()
+        data[config.name] = {
+            "area_mm2": area.total_mm2,
+            "paper_mm2": PAPER_AREA[config.name],
+            "breakdown": breakdown,
+            "sram_kb": config.sram.total_kb,
+            "peak_tops": config.peak_ops / 1e12,
+        }
+        rows.append([
+            config.name,
+            f"{config.pe_rows}x{config.pe_cols}={config.n_pes}",
+            f"{config.sram.total_kb:.0f}",
+            f"{area.total_mm2:.1f}",
+            f"{PAPER_AREA[config.name]:.1f}",
+            f"{config.frequency_hz / 1e9:.0f} GHz",
+            config.dram.name,
+            f"{config.dram.bandwidth_gbps:.1f}",
+            f"{config.peak_ops / 1e12:.2f} TOPS",
+        ])
+    rows.append([
+        "Mesorasi (paper)",
+        PAPER_MESORASI["cores"],
+        f"{PAPER_MESORASI['sram_kb']}",
+        "-",
+        "-",
+        "1 GHz",
+        PAPER_MESORASI["dram"],
+        f"{PAPER_MESORASI['bandwidth']}",
+        f"{PAPER_MESORASI['peak_gops'] / 1e3:.2f} TOPS",
+    ])
+    return ExperimentResult(
+        experiment_id="tab03",
+        title="ASIC platforms (area from the 40 nm component model)",
+        headers=["chip", "cores", "SRAM (KB)", "area mm2", "paper mm2",
+                 "freq", "DRAM", "GB/s", "peak"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,67 @@
+"""Ball query: k nearest neighbors constrained to a radius.
+
+Paper Section 2.1.2: "ball query further requires these points to lie in the
+sphere of radius r, i.e. ||p - q||^2 <= r".  PointNet++ pads groups that have
+fewer than ``k`` in-radius neighbors by repeating the first found neighbor,
+so every output group has exactly ``k`` maps — we reproduce that convention
+(it determines gather traffic, which the cost models consume).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.coords import pairwise_squared_distance
+from .maps import MapTable
+
+__all__ = ["ball_query_indices", "ball_query_maps"]
+
+
+def ball_query_indices(
+    queries: np.ndarray,
+    references: np.ndarray,
+    radius: float,
+    k: int,
+) -> np.ndarray:
+    """For each query, indices of up to ``k`` in-radius refs, padded to ``k``.
+
+    Neighbors are taken in increasing-distance order (stable).  A query with
+    no in-radius neighbor falls back to its nearest reference (the reference
+    implementation's behaviour), so groups are never empty.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    references = np.asarray(references, dtype=np.float64)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if len(references) == 0:
+        raise ValueError("ball query with empty reference cloud")
+    sq = pairwise_squared_distance(queries, references)
+    r2 = radius * radius
+    n_ref = sq.shape[1]
+    k_eff = min(k, n_ref)
+    order = np.lexsort((np.broadcast_to(np.arange(n_ref), sq.shape), sq), axis=1)
+    candidates = order[:, :k_eff]
+    sorted_sq = np.take_along_axis(sq, candidates, axis=1)
+    # Candidates are distance-ascending, so in-radius flags form a prefix of
+    # each row; count the prefix and pad the tail with the nearest point
+    # (also the fallback when no candidate is in radius).
+    counts = np.maximum((sorted_sq <= r2).sum(axis=1), 1)
+    col = np.arange(k_eff)[None, :]
+    result = np.where(col < counts[:, None], candidates, candidates[:, :1])
+    if k_eff < k:
+        pad = np.repeat(result[:, :1], k - k_eff, axis=1)
+        result = np.concatenate([result, pad], axis=1)
+    return result.astype(np.int64)
+
+
+def ball_query_maps(
+    queries: np.ndarray, references: np.ndarray, radius: float, k: int
+) -> MapTable:
+    """Ball query as a :class:`MapTable` (weight index = neighbor rank)."""
+    idx = ball_query_indices(queries, references, radius, k)
+    n_q = len(idx)
+    out_idx = np.repeat(np.arange(n_q, dtype=np.int64), k)
+    weight_idx = np.tile(np.arange(k, dtype=np.int64), n_q)
+    return MapTable(idx.ravel(), out_idx, weight_idx, kernel_volume=k)

@@ -1,0 +1,59 @@
+"""Farthest point sampling — output-cloud construction for PointNet++.
+
+Paper Section 2.1.1: each output point is sampled from the input cloud one by
+one; at iteration ``t`` we choose the input point with the largest distance
+to the current output set.  The MPU realizes this as a streaming arg-max over
+maintained minimum distances (paper Fig. 8b); this module is the exact
+functional reference that hardware model is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["farthest_point_sampling", "random_sampling"]
+
+
+def farthest_point_sampling(
+    points: np.ndarray, n_samples: int, start_index: int = 0
+) -> np.ndarray:
+    """Indices of ``n_samples`` farthest-point samples of ``points``.
+
+    Deterministic given ``start_index`` (the customary seed point is index 0,
+    matching the reference PointNet++ implementation).  Runs the standard
+    O(n_samples * N) incremental algorithm: maintain for every input point
+    its distance to the nearest already-selected output and repeatedly pick
+    the arg-max.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot sample from an empty point cloud")
+    if not 0 <= start_index < n:
+        raise ValueError(f"start_index {start_index} out of range for {n} points")
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    n_samples = min(n_samples, n)
+
+    selected = np.empty(n_samples, dtype=np.int64)
+    selected[0] = start_index
+    # min_sq_dist[i] = squared distance from point i to the selected set.
+    diff = points - points[start_index]
+    min_sq_dist = np.einsum("ij,ij->i", diff, diff)
+    for t in range(1, n_samples):
+        nxt = int(np.argmax(min_sq_dist))
+        selected[t] = nxt
+        diff = points - points[nxt]
+        np.minimum(min_sq_dist, np.einsum("ij,ij->i", diff, diff), out=min_sq_dist)
+    return selected
+
+
+def random_sampling(
+    n_points: int, n_samples: int, seed: int | np.random.Generator = 0
+) -> np.ndarray:
+    """Uniform random downsampling (the cheap alternative, e.g. RandLA-Net)."""
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    n_samples = min(n_samples, n_points)
+    return np.sort(rng.choice(n_points, size=n_samples, replace=False))

@@ -1,0 +1,197 @@
+"""Kernel mapping for SparseConv: three interchangeable algorithms.
+
+Paper Sections 2.1.2 and 4.1.1.  A map ``(p, q, w_delta)`` exists when input
+point ``p`` sits at offset ``delta * ts_in`` from output point ``q``:
+``p = q + delta * ts_in``.  The three implementations here are:
+
+* :func:`kernel_map_bruteforce` — O(N_in * N_out) set comparison; only for
+  testing on tiny clouds.
+* :func:`kernel_map_hash` — the state-of-the-art CPU/GPU algorithm
+  (MinkowskiEngine): build a hash table of input coordinates, probe
+  ``q + delta`` for every output/offset pair.
+* :func:`kernel_map_mergesort` — PointAcc's formulation (Fig. 9): shift the
+  input cloud by ``-delta``, merge-sort it with the output cloud, and detect
+  key intersections between adjacent elements.
+
+All three return identical :class:`MapTable`s (property-tested); they differ
+in the hardware cost models attached to them in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.coords import coords_to_keys, kernel_offsets
+from .maps import MapTable
+
+__all__ = [
+    "kernel_map_bruteforce",
+    "kernel_map_hash",
+    "kernel_map_mergesort",
+    "kernel_map",
+]
+
+
+def _validate(in_coords: np.ndarray, out_coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    in_coords = np.asarray(in_coords, dtype=np.int64)
+    out_coords = np.asarray(out_coords, dtype=np.int64)
+    if in_coords.ndim != 2 or out_coords.ndim != 2:
+        raise ValueError("coordinates must be (N, D) arrays")
+    if in_coords.shape[1] != out_coords.shape[1]:
+        raise ValueError("input/output coordinate dimensions differ")
+    return in_coords, out_coords
+
+
+def _resolve_offsets(
+    in_coords: np.ndarray,
+    kernel_size: int,
+    tensor_stride: int,
+    offsets: np.ndarray | None,
+) -> np.ndarray:
+    """Offsets a map must satisfy (``p = q + offset``), explicit or enumerated."""
+    if offsets is not None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 2 or offsets.shape[1] != in_coords.shape[1]:
+            raise ValueError(f"offsets must be (K, {in_coords.shape[1]})")
+        return offsets
+    return kernel_offsets(kernel_size, in_coords.shape[1]) * tensor_stride
+
+
+def kernel_map_bruteforce(
+    in_coords: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int = 3,
+    tensor_stride: int = 1,
+    offsets: np.ndarray | None = None,
+) -> MapTable:
+    """Reference kernel mapping by exhaustive comparison (testing only)."""
+    in_coords, out_coords = _validate(in_coords, out_coords)
+    offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    in_list = {tuple(c): i for i, c in enumerate(in_coords.tolist())}
+    ins, outs, weights = [], [], []
+    for w, delta in enumerate(offsets.tolist()):
+        for q_idx, q in enumerate(out_coords.tolist()):
+            probe = tuple(qc + dc for qc, dc in zip(q, delta))
+            p_idx = in_list.get(probe)
+            if p_idx is not None:
+                ins.append(p_idx)
+                outs.append(q_idx)
+                weights.append(w)
+    return MapTable(
+        np.array(ins, dtype=np.int64),
+        np.array(outs, dtype=np.int64),
+        np.array(weights, dtype=np.int64),
+        kernel_volume=len(offsets),
+    )
+
+
+def kernel_map_hash(
+    in_coords: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int = 3,
+    tensor_stride: int = 1,
+    offsets: np.ndarray | None = None,
+) -> MapTable:
+    """Hash-table kernel mapping (the MinkowskiEngine-style baseline).
+
+    Builds a dict keyed by packed input coordinates and probes each
+    ``q + delta``; a hit yields a map.  This is the algorithm PointAcc's
+    merge-sort formulation replaces (Section 4.1.1).
+    """
+    in_coords, out_coords = _validate(in_coords, out_coords)
+    offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    table = {int(key): i for i, key in enumerate(coords_to_keys(in_coords))}
+    ins, outs, weights = [], [], []
+    for w, delta in enumerate(offsets):
+        probe_keys = coords_to_keys(out_coords + delta[None, :])
+        for q_idx, key in enumerate(probe_keys.tolist()):
+            p_idx = table.get(key)
+            if p_idx is not None:
+                ins.append(p_idx)
+                outs.append(q_idx)
+                weights.append(w)
+    return MapTable(
+        np.array(ins, dtype=np.int64),
+        np.array(outs, dtype=np.int64),
+        np.array(weights, dtype=np.int64),
+        kernel_volume=len(offsets),
+    )
+
+
+def kernel_map_mergesort(
+    in_coords: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int = 3,
+    tensor_stride: int = 1,
+    offsets: np.ndarray | None = None,
+) -> MapTable:
+    """Merge-sort kernel mapping — PointAcc's algorithm (Fig. 9).
+
+    The input cloud is sorted once (shifting every point by a constant
+    ``-delta`` preserves lexicographic order, so the per-offset passes reuse
+    the sorted array).  For each offset the shifted input keys are merged
+    with the sorted output keys and equal adjacent keys are intersections,
+    i.e. maps.  This vectorized implementation computes exactly what the
+    MPU's merger + intersection detector compute; the cycle-level model lives
+    in ``repro.core.mpu``.
+    """
+    in_coords, out_coords = _validate(in_coords, out_coords)
+    offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    if len(in_coords) == 0 or len(out_coords) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return MapTable(empty, empty, empty, kernel_volume=len(offsets))
+
+    in_order = np.argsort(coords_to_keys(in_coords), kind="stable")
+    sorted_in = in_coords[in_order]
+    out_keys = coords_to_keys(out_coords)
+    out_order = np.argsort(out_keys, kind="stable")
+    sorted_out_keys = out_keys[out_order]
+
+    ins, outs, weights = [], [], []
+    for w, delta in enumerate(offsets):
+        # Shift input by -delta: intersections satisfy p - delta == q.
+        shifted_keys = coords_to_keys(sorted_in - delta[None, :])
+        # Merge + detect-intersection == searchsorted equality probe on the
+        # two sorted arrays (both sides are duplicate-free).
+        pos = np.searchsorted(sorted_out_keys, shifted_keys)
+        pos_clipped = np.minimum(pos, len(sorted_out_keys) - 1)
+        hit = (
+            (len(sorted_out_keys) > 0)
+            & (pos < len(sorted_out_keys))
+            & (sorted_out_keys[pos_clipped] == shifted_keys)
+        )
+        if not np.any(hit):
+            continue
+        p_idx = in_order[np.flatnonzero(hit)]
+        q_idx = out_order[pos[hit]]
+        ins.append(p_idx)
+        outs.append(q_idx)
+        weights.append(np.full(len(p_idx), w, dtype=np.int64))
+    if not ins:
+        empty = np.empty(0, dtype=np.int64)
+        return MapTable(empty, empty, empty, kernel_volume=len(offsets))
+    return MapTable(
+        np.concatenate(ins),
+        np.concatenate(outs),
+        np.concatenate(weights),
+        kernel_volume=len(offsets),
+    )
+
+
+def kernel_map(
+    in_coords: np.ndarray,
+    out_coords: np.ndarray,
+    kernel_size: int = 3,
+    tensor_stride: int = 1,
+    algorithm: str = "mergesort",
+    offsets: np.ndarray | None = None,
+) -> MapTable:
+    """Dispatch to one of the kernel-mapping algorithms by name."""
+    algos = {
+        "bruteforce": kernel_map_bruteforce,
+        "hash": kernel_map_hash,
+        "mergesort": kernel_map_mergesort,
+    }
+    if algorithm not in algos:
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {sorted(algos)}")
+    return algos[algorithm](in_coords, out_coords, kernel_size, tensor_stride, offsets)

@@ -1,0 +1,57 @@
+"""k-nearest-neighbor search producing map tables.
+
+Paper Section 2.1.2: for each output point, the top-k nearest input points
+are selected; the n-th neighbor is multiplied with weight w_n, so the weight
+index of a map is the neighbor's rank.  The MPU implements this as a TopK
+ranking kernel (Fig. 8c); this is the functional reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.coords import pairwise_squared_distance
+from .maps import MapTable
+
+__all__ = ["knn_indices", "knn_maps"]
+
+
+def knn_indices(
+    queries: np.ndarray, references: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """For each query, indices and squared distances of its k nearest refs.
+
+    Returns ``(idx, sq_dist)`` of shape ``(len(queries), k)``; neighbors are
+    ordered by increasing distance with index as tie-breaker (so results are
+    deterministic and match a stable hardware sort).  If fewer than ``k``
+    references exist, the available ones are repeated to pad the last column
+    (mirroring the PointNet++ reference implementation's behaviour of reusing
+    the nearest point).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    references = np.asarray(references, dtype=np.float64)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if len(references) == 0:
+        raise ValueError("knn with empty reference cloud")
+    sq = pairwise_squared_distance(queries, references)
+    n_ref = sq.shape[1]
+    k_eff = min(k, n_ref)
+    # Stable top-k: sort (distance, index) pairs.
+    order = np.lexsort((np.broadcast_to(np.arange(n_ref), sq.shape), sq), axis=1)
+    idx = order[:, :k_eff]
+    dist = np.take_along_axis(sq, idx, axis=1)
+    if k_eff < k:
+        pad = k - k_eff
+        idx = np.concatenate([idx, np.repeat(idx[:, :1], pad, axis=1)], axis=1)
+        dist = np.concatenate([dist, np.repeat(dist[:, :1], pad, axis=1)], axis=1)
+    return idx, dist
+
+
+def knn_maps(queries: np.ndarray, references: np.ndarray, k: int) -> MapTable:
+    """kNN as a :class:`MapTable`: weight index = neighbor rank (0..k-1)."""
+    idx, _ = knn_indices(queries, references, k)
+    n_q = len(idx)
+    out_idx = np.repeat(np.arange(n_q, dtype=np.int64), k)
+    weight_idx = np.tile(np.arange(k, dtype=np.int64), n_q)
+    return MapTable(idx.ravel(), out_idx, weight_idx, kernel_volume=k)

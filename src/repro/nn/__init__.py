@@ -1,0 +1,31 @@
+"""Neural-network substrate: layers, blocks, models, workload traces."""
+
+from . import functional
+from .dgcnn_blocks import EdgeConv
+from .layers import Linear, SharedMLP, new_param_rng
+from .pointnet_blocks import (
+    FeaturePropagation,
+    GlobalSetAbstraction,
+    SetAbstraction,
+    SetAbstractionMSG,
+)
+from .sparse_conv import SparseConv, SparseConvTranspose, sparse_conv_apply
+from .trace import LayerKind, LayerSpec, Trace
+
+__all__ = [
+    "functional",
+    "EdgeConv",
+    "Linear",
+    "SharedMLP",
+    "new_param_rng",
+    "FeaturePropagation",
+    "GlobalSetAbstraction",
+    "SetAbstraction",
+    "SetAbstractionMSG",
+    "SparseConv",
+    "SparseConvTranspose",
+    "sparse_conv_apply",
+    "LayerKind",
+    "LayerSpec",
+    "Trace",
+]

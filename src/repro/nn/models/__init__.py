@@ -1,0 +1,35 @@
+"""The 8-network benchmark zoo (paper Table 2) plus Mini-MinkowskiUNet."""
+
+from .dgcnn import DGCNNPartSeg
+from .frustum import FrustumPointNet2, extract_frustums
+from .minkunet import MinkowskiUNet, ResidualBlock, mini_minkunet
+from .pointnet import PointNetCls, TNet
+from .pointnet2 import PointNet2MSGPartSeg, PointNet2SSGCls, PointNet2SSGSemSeg
+from .registry import (
+    BENCHMARKS,
+    MINI_MINKUNET,
+    Benchmark,
+    build_trace,
+    get_benchmark,
+    run_benchmark,
+)
+
+__all__ = [
+    "DGCNNPartSeg",
+    "FrustumPointNet2",
+    "extract_frustums",
+    "MinkowskiUNet",
+    "ResidualBlock",
+    "mini_minkunet",
+    "PointNetCls",
+    "TNet",
+    "PointNet2MSGPartSeg",
+    "PointNet2SSGCls",
+    "PointNet2SSGSemSeg",
+    "BENCHMARKS",
+    "MINI_MINKUNET",
+    "Benchmark",
+    "build_trace",
+    "get_benchmark",
+    "run_benchmark",
+]

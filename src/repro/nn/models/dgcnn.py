@@ -1,0 +1,62 @@
+"""DGCNN (Wang et al., SIGGRAPH 2019) — part segmentation configuration.
+
+Every EdgeConv layer recomputes a kNN graph in *feature* space, so mapping
+work grows with feature width — the property that makes DGCNN one of the
+most mapping-bound models in the paper's profile (Fig. 6 family).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pointcloud.cloud import PointCloud
+from .. import functional as F
+from ..dgcnn_blocks import EdgeConv
+from ..layers import SharedMLP, new_param_rng
+from ..trace import LayerKind, LayerSpec, Trace
+
+__all__ = ["DGCNNPartSeg"]
+
+
+class DGCNNPartSeg:
+    """DGCNN for part segmentation: 3 EdgeConvs + global context + head."""
+
+    notation = "DGCNN"
+    nominal_points = 2048
+
+    def __init__(self, n_parts: int = 50, k: int = 20, seed: int = 0) -> None:
+        rng = new_param_rng(seed)
+        self.k = k
+        self.ec1 = EdgeConv(3, [64, 64], k, rng, name="ec1")
+        self.ec2 = EdgeConv(64, [64, 64], k, rng, name="ec2")
+        self.ec3 = EdgeConv(64, [64], k, rng, name="ec3")
+        concat_c = 64 + 64 + 64
+        self.bottleneck = SharedMLP(concat_c, [1024], rng, name="bottleneck")
+        self.head = SharedMLP(
+            1024 + concat_c, [256, 256, 128, n_parts], rng,
+            final_relu=False, name="head",
+        )
+
+    def __call__(self, cloud: PointCloud, trace: Trace | None = None) -> np.ndarray:
+        x = cloud.points
+        n = len(x)
+        h1 = self.ec1(x, trace)
+        h2 = self.ec2(h1, trace)
+        h3 = self.ec3(h2, trace)
+        concat = np.concatenate([h1, h2, h3], axis=1)
+        bottleneck = self.bottleneck(concat, trace)
+        g = F.global_max_pool(bottleneck)
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name="global_pool",
+                    kind=LayerKind.GLOBAL_POOL,
+                    n_in=n,
+                    n_out=1,
+                    c_in=1024,
+                    c_out=1024,
+                    rows=n,
+                )
+            )
+        expanded = np.concatenate([np.repeat(g[None, :], n, axis=0), concat], axis=1)
+        return self.head(expanded, trace)

@@ -1,0 +1,116 @@
+"""PointNet (Qi et al., CVPR 2017) — classification, with T-Nets.
+
+Workload profile (paper Fig. 5/6): all-dense pointwise MLPs, no mapping
+operations, no downsampling — which is why PointAcc's fusion mode helps it
+most (Fig. 20: 64% DRAM reduction, "no downsampling layers in PointNet, we
+are able to fuse more layers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pointcloud.cloud import PointCloud
+from .. import functional as F
+from ..layers import Linear, SharedMLP, new_param_rng
+from ..trace import LayerKind, LayerSpec, Trace
+
+__all__ = ["TNet", "PointNetCls"]
+
+
+class TNet:
+    """Spatial/feature transform net: MLP -> global max -> FC -> KxK matrix."""
+
+    def __init__(self, k: int, rng: np.random.Generator, name: str = "tnet") -> None:
+        self.k = k
+        self.name = name
+        self.mlp = SharedMLP(k, [64, 128, 1024], rng, name=f"{name}.mlp")
+        self.fc = SharedMLP(1024, [512, 256], rng, name=f"{name}.fc")
+        self.out = Linear(256, k * k, rng, relu=False, bn=False, name=f"{name}.out")
+
+    def __call__(self, x: np.ndarray, trace: Trace | None = None) -> np.ndarray:
+        n = len(x)
+        h = self.mlp(x, trace)
+        g = F.global_max_pool(h)[None, :]
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name=f"{self.name}.pool",
+                    kind=LayerKind.GLOBAL_POOL,
+                    n_in=n,
+                    n_out=1,
+                    c_in=1024,
+                    c_out=1024,
+                    rows=n,
+                )
+            )
+        g = self.fc(g, trace)
+        mat = self.out(g, trace).reshape(self.k, self.k)
+        return mat + np.eye(self.k)
+
+
+class PointNetCls:
+    """PointNet classifier: input/feature T-Nets, MLPs, global pool, FC head."""
+
+    notation = "PointNet"
+
+    def __init__(self, n_classes: int = 40, seed: int = 0) -> None:
+        rng = new_param_rng(seed)
+        self.n_classes = n_classes
+        self.tnet3 = TNet(3, rng, name="tnet3")
+        self.mlp1 = SharedMLP(3, [64, 64], rng, name="mlp1")
+        self.tnet64 = TNet(64, rng, name="tnet64")
+        self.mlp2 = SharedMLP(64, [64, 128, 1024], rng, name="mlp2")
+        self.head = SharedMLP(
+            1024, [512, 256, n_classes], rng, final_relu=False, name="head"
+        )
+
+    def __call__(self, cloud: PointCloud, trace: Trace | None = None) -> np.ndarray:
+        x = cloud.points
+        n = len(x)
+        t3 = self.tnet3(x, trace)
+        x = x @ t3
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name="transform3",
+                    kind=LayerKind.DENSE_MM,
+                    n_in=n,
+                    n_out=n,
+                    c_in=3,
+                    c_out=3,
+                    rows=n,
+                    fusible=True,
+                )
+            )
+        x = self.mlp1(x, trace)
+        t64 = self.tnet64(x, trace)
+        x = x @ t64
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name="transform64",
+                    kind=LayerKind.DENSE_MM,
+                    n_in=n,
+                    n_out=n,
+                    c_in=64,
+                    c_out=64,
+                    rows=n,
+                    fusible=True,
+                )
+            )
+        x = self.mlp2(x, trace)
+        g = F.global_max_pool(x)[None, :]
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name="global_pool",
+                    kind=LayerKind.GLOBAL_POOL,
+                    n_in=n,
+                    n_out=1,
+                    c_in=1024,
+                    c_out=1024,
+                    rows=n,
+                )
+            )
+        return self.head(g, trace)[0]

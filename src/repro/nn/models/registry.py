@@ -1,0 +1,184 @@
+"""Benchmark registry — paper Table 2 plus trace generation helpers.
+
+Maps each benchmark notation used in the paper's figures to its model,
+dataset and input pipeline, and provides :func:`build_trace`, the single
+entry point every experiment runner uses to obtain a workload trace.
+
+``published`` records accuracy numbers from the papers cited in Table 2
+(reproduction note: we cannot re-train without the real datasets, so figures
+that plot accuracy use these constants; latency/energy axes are measured
+from our models — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from ...pointcloud.datasets import generate_sample, get_dataset
+from ..trace import Trace
+from .dgcnn import DGCNNPartSeg
+from .frustum import FrustumPointNet2
+from .minkunet import MinkowskiUNet, mini_minkunet
+from .pointnet import PointNetCls
+from .pointnet2 import PointNet2MSGPartSeg, PointNet2SSGCls, PointNet2SSGSemSeg
+
+__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark", "build_trace", "run_benchmark"]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of Table 2."""
+
+    notation: str
+    application: str
+    dataset: str
+    family: str  # "pointnet++" | "sparseconv"
+    model_factory: Callable[[int], object]
+    voxel_size: float | None = None  # set for sparseconv models
+    mesorasi_compatible: bool = False  # delayed aggregation applies
+    n_points: int | None = None  # override the dataset's nominal size
+    published: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+def _minknet_indoor(seed: int) -> MinkowskiUNet:
+    model = MinkowskiUNet(n_classes=13, seed=seed)
+    model.notation = "MinkNet(i)"
+    return model
+
+
+def _minknet_outdoor(seed: int) -> MinkowskiUNet:
+    model = MinkowskiUNet(n_classes=19, seed=seed)
+    model.notation = "MinkNet(o)"
+    return model
+
+
+BENCHMARKS: dict[str, Benchmark] = {
+    "PointNet": Benchmark(
+        notation="PointNet",
+        application="classification",
+        dataset="modelnet40",
+        family="pointnet++",
+        model_factory=lambda seed: PointNetCls(seed=seed),
+        mesorasi_compatible=True,
+        published={"accuracy": 89.2},
+    ),
+    "PointNet++(c)": Benchmark(
+        notation="PointNet++(c)",
+        application="classification",
+        dataset="modelnet40",
+        family="pointnet++",
+        model_factory=lambda seed: PointNet2SSGCls(seed=seed),
+        mesorasi_compatible=True,
+        published={"accuracy": 90.7},
+    ),
+    "PointNet++(ps)": Benchmark(
+        notation="PointNet++(ps)",
+        application="part segmentation",
+        dataset="shapenet",
+        family="pointnet++",
+        model_factory=lambda seed: PointNet2MSGPartSeg(seed=seed),
+        mesorasi_compatible=True,
+        published={"instance_miou": 85.1},
+    ),
+    "DGCNN": Benchmark(
+        notation="DGCNN",
+        application="part segmentation",
+        dataset="shapenet",
+        family="pointnet++",
+        model_factory=lambda seed: DGCNNPartSeg(seed=seed),
+        mesorasi_compatible=True,
+        published={"instance_miou": 85.2},
+    ),
+    "F-PointNet++": Benchmark(
+        notation="F-PointNet++",
+        application="detection",
+        dataset="kitti",
+        family="pointnet++",
+        model_factory=lambda seed: FrustumPointNet2(seed=seed),
+        mesorasi_compatible=True,
+        published={"car_ap_moderate": 70.4},
+    ),
+    "PointNet++(s)": Benchmark(
+        notation="PointNet++(s)",
+        application="segmentation",
+        dataset="s3dis",
+        family="pointnet++",
+        model_factory=lambda seed: PointNet2SSGSemSeg(seed=seed),
+        mesorasi_compatible=True,
+        n_points=4096,  # S3DIS is processed in 4096-point blocks
+        published={"miou": 53.5},
+    ),
+    "MinkNet(i)": Benchmark(
+        notation="MinkNet(i)",
+        application="segmentation",
+        dataset="s3dis",
+        family="sparseconv",
+        model_factory=_minknet_indoor,
+        voxel_size=0.05,
+        published={"miou": 65.4},
+    ),
+    "MinkNet(o)": Benchmark(
+        notation="MinkNet(o)",
+        application="segmentation",
+        dataset="semantickitti",
+        family="sparseconv",
+        model_factory=_minknet_outdoor,
+        voxel_size=0.1,
+        published={"miou": 61.1},
+    ),
+}
+
+# The Fig. 16 co-design model is not part of Table 2 but shares the pipeline.
+MINI_MINKUNET = Benchmark(
+    notation="Mini-MinkowskiUNet",
+    application="segmentation",
+    dataset="s3dis",
+    family="sparseconv",
+    model_factory=lambda seed: mini_minkunet(seed=seed),
+    voxel_size=0.08,
+    published={"miou": 62.6},  # PointNet++(s) 53.5 + 9.1 (Section 5.2.2)
+)
+
+
+def get_benchmark(notation: str) -> Benchmark:
+    if notation == MINI_MINKUNET.notation:
+        return MINI_MINKUNET
+    if notation not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {notation!r}; known: {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[notation]
+
+
+def run_benchmark(
+    notation: str, scale: float = 1.0, seed: int = 0
+) -> tuple[Trace, object]:
+    """Run one benchmark functionally; return its trace and raw output."""
+    bench = get_benchmark(notation)
+    spec = get_dataset(bench.dataset)
+    n_points = None
+    if bench.n_points is not None:
+        n_points = max(16, int(bench.n_points * scale))
+    cloud = generate_sample(bench.dataset, seed=seed, scale=scale, n_points=n_points)
+    model = bench.model_factory(seed)
+    trace = Trace(name=notation)
+    if bench.family == "sparseconv":
+        voxel = bench.voxel_size if bench.voxel_size is not None else spec.voxel_size
+        tensor = model.prepare_input(cloud, voxel)
+        output = model(tensor, trace)
+        trace.input_points = tensor.n
+    else:
+        output = model(cloud, trace)
+        trace.input_points = cloud.n
+    return trace, output
+
+
+@lru_cache(maxsize=64)
+def build_trace(notation: str, scale: float = 1.0, seed: int = 0) -> Trace:
+    """Cached trace construction — experiments share traces freely."""
+    trace, _ = run_benchmark(notation, scale=scale, seed=seed)
+    return trace

@@ -1,0 +1,180 @@
+"""SPVCNN-lite: sparse point-voxel convolution (Tang et al., ECCV 2020).
+
+SPVNAS — the paper's Fig. 2 reference point for efficient 3D networks —
+builds on Sparse Point-Voxel convolution: a sparse voxel branch (Minkowski-
+style U-Net) fused with a high-resolution per-point MLP branch, so fine
+geometric detail survives aggressive voxel downsampling.
+
+This is an *extension* model (not part of the paper's Table 2 suite): it
+exercises a mapping pattern none of the eight benchmarks has — repeated
+voxelize/devoxelize traffic between a point set and a voxel set — which
+stresses the MMU's gather/scatter accounting differently (the devoxelize
+gather is random-access over the voxel features).
+
+Structure (lite): voxelize -> [SPV stage x 3] -> fuse -> head, where each
+SPV stage = sparse-conv block on voxels + shared MLP on points + nearest-
+voxel devoxelize + add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pointcloud.cloud import PointCloud, SparseTensor
+from ...pointcloud.coords import quantize_unique
+from ..layers import Linear, SharedMLP, new_param_rng
+from ..sparse_conv import SparseConv
+from ..trace import LayerKind, LayerSpec, Trace
+
+__all__ = ["SPVCNNLite"]
+
+
+class SPVCNNLite:
+    """Three SPV stages over a voxelized cloud plus a per-point branch."""
+
+    notation = "SPVCNN-lite"
+    nominal_points = 65536
+
+    def __init__(
+        self,
+        n_classes: int = 19,
+        channels: tuple[int, ...] = (16, 32, 64),
+        c_in: int = 4,
+        seed: int = 0,
+    ) -> None:
+        rng = new_param_rng(seed)
+        self.c_in = c_in
+        self.n_classes = n_classes
+        self.channels = channels
+        self.stem = SparseConv(c_in, channels[0], 3, 1, rng, name="stem")
+        self.voxel_blocks: list[SparseConv] = []
+        self.point_mlps: list[SharedMLP] = []
+        prev = channels[0]
+        for i, c in enumerate(channels):
+            self.voxel_blocks.append(
+                SparseConv(prev, c, 3, 1, rng, name=f"spv{i}.voxel")
+            )
+            self.point_mlps.append(
+                SharedMLP(prev, [c], rng, name=f"spv{i}.point")
+            )
+            prev = c
+        self.head = Linear(prev, n_classes, rng, relu=False, bn=False,
+                           name="head")
+
+    def prepare_input(self, cloud: PointCloud, voxel_size: float) -> tuple[
+        SparseTensor, np.ndarray, np.ndarray
+    ]:
+        """Voxelize; return (tensor, point->voxel map, point features)."""
+        grid = np.floor(cloud.points / voxel_size).astype(np.int64)
+        voxels, inverse = quantize_unique(grid, 1)
+        feats = np.zeros((len(voxels), self.c_in))
+        coords = voxels.astype(np.float64)
+        span = np.maximum(coords.max(axis=0) - coords.min(axis=0), 1.0)
+        feats[:, 0] = 1.0
+        feats[:, 1: min(4, self.c_in)] = (
+            (coords - coords.min(axis=0)) / span
+        )[:, : max(0, min(3, self.c_in - 1))]
+        tensor = SparseTensor(voxels, feats, tensor_stride=1, _sorted=True)
+        point_feats = feats[inverse]
+        return tensor, inverse, point_feats
+
+    def _devoxelize(
+        self,
+        voxel_feats: np.ndarray,
+        point_to_voxel: np.ndarray,
+        trace: Trace | None,
+        name: str,
+    ) -> np.ndarray:
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name=f"{name}.devox",
+                    kind=LayerKind.GATHER,
+                    n_in=len(voxel_feats),
+                    n_out=len(point_to_voxel),
+                    c_in=voxel_feats.shape[1],
+                    n_maps=len(point_to_voxel),
+                )
+            )
+        return voxel_feats[point_to_voxel]
+
+    def _voxelize_feats(
+        self,
+        point_feats: np.ndarray,
+        point_to_voxel: np.ndarray,
+        n_voxels: int,
+        trace: Trace | None,
+        name: str,
+    ) -> np.ndarray:
+        out = np.zeros((n_voxels, point_feats.shape[1]))
+        np.add.at(out, point_to_voxel, point_feats)
+        counts = np.bincount(point_to_voxel, minlength=n_voxels)
+        out /= np.maximum(counts, 1)[:, None]
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name=f"{name}.vox",
+                    kind=LayerKind.SCATTER,
+                    n_in=len(point_feats),
+                    n_out=n_voxels,
+                    c_out=point_feats.shape[1],
+                    n_maps=len(point_feats),
+                )
+            )
+        return out
+
+    def __call__(
+        self,
+        tensor: SparseTensor,
+        point_to_voxel: np.ndarray,
+        point_feats: np.ndarray,
+        trace: Trace | None = None,
+    ) -> np.ndarray:
+        """Per-point logits for the raw (pre-voxelization) points."""
+        map_cache: dict = {}
+        x = self.stem(tensor, trace, map_cache)
+        pts = self._devoxelize(x.features, point_to_voxel, trace, "stem")
+        for i, (vblock, pmlp) in enumerate(
+            zip(self.voxel_blocks, self.point_mlps)
+        ):
+            x = vblock(x, trace, map_cache)
+            pts = pmlp(pts, trace)
+            devox = self._devoxelize(
+                x.features, point_to_voxel, trace, f"spv{i}"
+            )
+            pts = pts + devox  # point-voxel fusion
+            if trace is not None:
+                trace.record(
+                    LayerSpec(
+                        name=f"spv{i}.fuse",
+                        kind=LayerKind.ELEMWISE,
+                        n_in=len(pts),
+                        n_out=len(pts),
+                        c_in=pts.shape[1],
+                        c_out=pts.shape[1],
+                        rows=len(pts),
+                    )
+                )
+            # Push fused features back onto the voxel branch.
+            x = x.with_features(
+                self._voxelize_feats(
+                    pts, point_to_voxel, x.n, trace, f"spv{i}"
+                )
+            )
+        return self.head(pts, trace)
+
+    def run(self, cloud: PointCloud, voxel_size: float,
+            trace: Trace | None = None) -> np.ndarray:
+        tensor, inverse, point_feats = self.prepare_input(cloud, voxel_size)
+        if trace is not None:
+            trace.record(
+                LayerSpec(
+                    name="voxelize",
+                    kind=LayerKind.MAP_QUANT,
+                    n_in=cloud.n,
+                    n_out=tensor.n,
+                    rows=cloud.n,
+                )
+            )
+            trace.input_points = cloud.n
+        return self(tensor, inverse, point_feats, trace)

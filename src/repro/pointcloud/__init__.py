@@ -1,0 +1,39 @@
+"""Point-cloud substrate: containers, coordinate math, synthetic datasets."""
+
+from .cloud import PointCloud, SparseTensor
+from .coords import (
+    bounding_box,
+    coords_to_keys,
+    kernel_offsets,
+    keys_to_coords,
+    lexicographic_order,
+    lexicographic_sort,
+    pairwise_squared_distance,
+    quantize,
+    quantize_unique,
+    squared_distance_to_set,
+    unique_coords,
+    voxelize,
+)
+from .datasets import DATASETS, DatasetSpec, generate_sample, get_dataset
+
+__all__ = [
+    "PointCloud",
+    "SparseTensor",
+    "bounding_box",
+    "coords_to_keys",
+    "kernel_offsets",
+    "keys_to_coords",
+    "lexicographic_order",
+    "lexicographic_sort",
+    "pairwise_squared_distance",
+    "quantize",
+    "quantize_unique",
+    "squared_distance_to_set",
+    "unique_coords",
+    "voxelize",
+    "DATASETS",
+    "DatasetSpec",
+    "generate_sample",
+    "get_dataset",
+]

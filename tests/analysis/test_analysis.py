@@ -1,0 +1,69 @@
+"""Tests for density and workload analysis (Fig. 2 / Fig. 5 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CNN_REFERENCES,
+    IMAGENET_DENSITY,
+    benchmark_workload,
+    cloud_density,
+    dataset_density,
+)
+
+
+class TestDensity:
+    def test_dense_grid_density_one(self):
+        import itertools
+
+        pts = np.array(
+            list(itertools.product(range(4), repeat=3)), dtype=np.float64
+        )
+        res = cloud_density(pts + 0.5, voxel_size=1.0)
+        assert res.density == pytest.approx(1.0)
+
+    def test_single_plane_density(self):
+        # A 10x10 plane in a 10x10x10 grid occupies exactly 1/10.
+        xs, ys = np.meshgrid(np.arange(10), np.arange(10))
+        pts = np.column_stack(
+            [xs.ravel(), ys.ravel(), np.zeros(100)]
+        ).astype(np.float64)
+        pts = np.vstack([pts, [0.0, 0.0, 9.0]])  # stretch the bbox
+        res = cloud_density(pts + 0.5, voxel_size=1.0)
+        assert res.density == pytest.approx(101 / 1000)
+
+    def test_every_dataset_sparser_than_imagenet(self):
+        for name in ("modelnet40", "s3dis", "semantickitti"):
+            res = dataset_density(name, scale=0.15)
+            assert res.density < IMAGENET_DENSITY / 10
+
+    def test_outdoor_orders_of_magnitude_sparser(self):
+        """Fig. 5: outdoor LiDAR reaches < 1e-3 density; objects ~1e-2."""
+        outdoor = dataset_density("semantickitti", scale=0.25)
+        objects = dataset_density("modelnet40", scale=1.0)
+        assert outdoor.density < 1e-3
+        assert objects.density > 1e-3
+        assert outdoor.density < objects.density / 10
+
+
+class TestWorkloads:
+    def test_macs_per_point_exceed_cnn_reference(self):
+        """Fig. 5 middle: point-cloud nets spend far more MACs per point
+        than MobileNetV2's per-pixel budget."""
+        stats = benchmark_workload("PointNet++(c)", scale=0.1)
+        mobilenet = next(
+            r for r in CNN_REFERENCES if r.name == "MobileNetV2"
+        )
+        assert stats.macs_per_point > mobilenet.macs_per_point * 10
+
+    def test_feature_footprint_exceeds_cnn(self):
+        """Fig. 5 right: per-point feature footprint up to ~16 KB, 10-100x
+        the CNN per-pixel footprint."""
+        stats = benchmark_workload("MinkNet(i)", scale=0.1)
+        resnet = next(r for r in CNN_REFERENCES if r.name == "ResNet50")
+        assert stats.feature_bytes_per_point > resnet.feature_bytes_per_point * 5
+
+    def test_workload_scales_with_input(self):
+        small = benchmark_workload("PointNet++(c)", scale=0.05)
+        large = benchmark_workload("PointNet++(c)", scale=0.1)
+        assert large.total_macs > small.total_macs

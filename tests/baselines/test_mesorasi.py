@@ -1,0 +1,106 @@
+"""Tests for the Mesorasi model and delayed-aggregation transform."""
+
+import pytest
+
+from repro.baselines import (
+    MESORASI_HW,
+    UnsupportedModelError,
+    delayed_aggregation_transform,
+    get_platform,
+    mesorasi_sw,
+)
+from repro.nn.models import build_trace
+from repro.nn.trace import LayerKind
+
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def pn_trace():
+    return build_trace("PointNet++(c)", scale=SCALE, seed=2)
+
+
+@pytest.fixture(scope="module")
+def mink_trace():
+    return build_trace("MinkNet(i)", scale=SCALE, seed=2)
+
+
+class TestTransform:
+    def test_mlp_rows_shrink_to_input_points(self, pn_trace):
+        transformed = delayed_aggregation_transform(pn_trace)
+        orig_mlps = pn_trace.by_kind(LayerKind.DENSE_MM)
+        new_mlps = transformed.by_kind(LayerKind.DENSE_MM)
+        assert len(new_mlps) == len(orig_mlps)
+        # SA-block MLPs now run on n points, not n_maps rows.
+        delayed = [s for s in new_mlps if s.name.endswith("@delayed")]
+        assert delayed
+        for spec in delayed:
+            assert spec.rows < max(s.rows for s in orig_mlps)
+
+    def test_total_macs_reduced(self, pn_trace):
+        transformed = delayed_aggregation_transform(pn_trace)
+        assert transformed.total_macs < pn_trace.total_macs
+
+    def test_gather_moves_mlp_outputs(self, pn_trace):
+        transformed = delayed_aggregation_transform(pn_trace)
+        delayed_gathers = [
+            s for s in transformed.by_kind(LayerKind.GATHER)
+            if s.name.endswith("@delayed")
+        ]
+        assert delayed_gathers
+        # Gather width equals the MLP's output channels, wider than the
+        # raw inputs it used to move.
+        assert all(s.c_in >= 64 for s in delayed_gathers)
+
+    def test_mapping_ops_untouched(self, pn_trace):
+        transformed = delayed_aggregation_transform(pn_trace)
+        assert len(transformed.mapping_specs) == len(pn_trace.mapping_specs)
+
+    def test_sparseconv_rejected(self, mink_trace):
+        with pytest.raises(UnsupportedModelError):
+            delayed_aggregation_transform(mink_trace)
+
+
+class TestMesorasiHW:
+    def test_runs_pointnetpp(self, pn_trace):
+        rep = MESORASI_HW.run(pn_trace)
+        assert rep.total_seconds > 0
+        assert rep.platform == "Mesorasi"
+
+    def test_rejects_sparseconv(self, mink_trace):
+        with pytest.raises(UnsupportedModelError):
+            MESORASI_HW.run(mink_trace)
+
+    def test_delayed_aggregation_beats_plain_npu(self, pn_trace):
+        """Delayed aggregation is Mesorasi's speedup mechanism: fewer MLP
+        rows must beat executing the unmodified trace on the same NPU."""
+        with_da = MESORASI_HW.run(pn_trace, apply_transform=True)
+        without = MESORASI_HW.run(pn_trace, apply_transform=False)
+        assert with_da.total_seconds < without.total_seconds
+
+    def test_slower_than_pointacc_edge(self, pn_trace):
+        from repro.core import PointAccModel, POINTACC_EDGE
+
+        edge = PointAccModel(POINTACC_EDGE).run(pn_trace)
+        meso = MESORASI_HW.run(pn_trace)
+        assert meso.total_seconds > edge.total_seconds
+
+    def test_mapping_runs_on_mobile_gpu(self, pn_trace):
+        rep = MESORASI_HW.run(pn_trace)
+        frac = rep.latency_fractions()
+        assert frac["mapping"] > 0.1  # neighbor search not accelerated
+
+
+class TestMesorasiSW:
+    def test_runs_on_edge_platforms(self, pn_trace):
+        for name in ("Jetson Nano", "Raspberry Pi 4B"):
+            rep = mesorasi_sw(pn_trace, get_platform(name))
+            assert rep.total_seconds > 0
+            assert name in rep.platform
+
+    def test_sw_faster_than_hw_is_false(self, pn_trace):
+        """Mesorasi-HW (dedicated NPU+AU) beats its software emulation on
+        a Raspberry Pi by a wide margin."""
+        hw = MESORASI_HW.run(pn_trace)
+        sw = mesorasi_sw(pn_trace, get_platform("Raspberry Pi 4B"))
+        assert hw.total_seconds < sw.total_seconds

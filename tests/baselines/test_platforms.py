@@ -1,0 +1,141 @@
+"""Tests for the baseline platform models."""
+
+import pytest
+
+from repro.baselines import (
+    EDGE_PLATFORMS,
+    SERVER_PLATFORMS,
+    PlatformModel,
+    PlatformSpec,
+    get_platform,
+)
+from repro.nn.models import build_trace
+from repro.nn.trace import LayerKind, LayerSpec, Trace
+
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def pn_trace():
+    return build_trace("PointNet++(c)", scale=SCALE, seed=2)
+
+
+@pytest.fixture(scope="module")
+def mink_trace():
+    return build_trace("MinkNet(o)", scale=SCALE, seed=2)
+
+
+class TestRegistry:
+    def test_all_platforms_resolvable(self):
+        for spec in (*SERVER_PLATFORMS, *EDGE_PLATFORMS):
+            model = get_platform(spec.name)
+            assert isinstance(model, PlatformModel)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("Cerebras")
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "name", [s.name for s in (*SERVER_PLATFORMS, *EDGE_PLATFORMS)]
+    )
+    def test_runs_both_families(self, name, pn_trace, mink_trace):
+        model = get_platform(name)
+        for trace in (pn_trace, mink_trace):
+            rep = model.run(trace)
+            assert rep.total_seconds > 0
+            assert rep.energy_joules > 0
+            assert rep.platform == name
+
+    def test_movement_costed_on_baselines(self, mink_trace):
+        """Unlike PointAcc, commodity platforms pay for explicit
+        gather/scatter (paper Fig. 4)."""
+        rep = get_platform("RTX 2080Ti").run(mink_trace)
+        assert rep.latency_breakdown()["movement"] > 0
+
+    def test_ordering_gpu_fastest_rpi_slowest(self, mink_trace):
+        gpu = get_platform("RTX 2080Ti").run(mink_trace).total_seconds
+        cpu = get_platform("Xeon Gold 6130").run(mink_trace).total_seconds
+        rpi = get_platform("Raspberry Pi 4B").run(mink_trace).total_seconds
+        assert gpu < cpu < rpi
+
+    def test_edge_ordering(self, pn_trace):
+        nx = get_platform("Jetson Xavier NX").run(pn_trace).total_seconds
+        nano = get_platform("Jetson Nano").run(pn_trace).total_seconds
+        rpi = get_platform("Raspberry Pi 4B").run(pn_trace).total_seconds
+        assert nx < nano < rpi
+
+    def test_mapping_dominates_pointnetpp_on_gpu(self):
+        """Fig. 6: PointNet++-family networks spend >50% in mapping +
+        movement on general-purpose hardware.  FPS serialization grows
+        with the sample count, so this needs a realistic input size."""
+        trace = build_trace("PointNet++(c)", scale=0.5, seed=2)
+        frac = get_platform("RTX 2080Ti").run(trace).latency_fractions()
+        assert frac["mapping"] + frac["movement"] > 0.5
+
+    def test_tpu_offload_dominated_by_movement(self, mink_trace):
+        """Fig. 6: the CPU+TPU round trip eats 60-90% of runtime."""
+        frac = get_platform("Xeon Skylake + TPU V3").run(
+            mink_trace
+        ).latency_fractions()
+        assert frac["movement"] > 0.5
+
+    def test_cached_maps_cost_only_dispatch(self, mink_trace):
+        rep = get_platform("RTX 2080Ti").run(mink_trace)
+        kmaps = [r for r in rep.records if r.kind == "map_kernel"]
+        cached = [r for r in kmaps if r.seconds <= 10e-6]
+        assert cached, "map reuse should reduce some layers to dispatch cost"
+
+
+class TestFPSSerialization:
+    def test_fps_latency_floor_from_sync(self):
+        spec = PlatformSpec(
+            name="toy", peak_gflops=1000, mem_bw_gbps=100,
+            dense_efficiency=0.5, sparse_efficiency=0.1,
+            mapping_gops=1000.0,  # compute cost ~0
+            gather_gbps=50, fps_sync_us=10.0, op_overhead_us=0.0,
+        )
+        trace = Trace()
+        trace.record(LayerSpec(name="fps", kind=LayerKind.MAP_FPS,
+                               n_in=1000, n_out=100, rows=1000))
+        rep = PlatformModel(spec).run(trace)
+        assert rep.total_seconds >= 100 * 10e-6  # n_out x sync
+
+    def test_no_sync_on_cpu_style_platform(self):
+        spec = PlatformSpec(
+            name="toy-cpu", peak_gflops=100, mem_bw_gbps=50,
+            dense_efficiency=0.5, sparse_efficiency=0.1,
+            mapping_gops=1.0, gather_gbps=10, fps_sync_us=0.0,
+            op_overhead_us=0.0,
+        )
+        trace = Trace()
+        trace.record(LayerSpec(name="fps", kind=LayerKind.MAP_FPS,
+                               n_in=1000, n_out=100, rows=1000))
+        rep = PlatformModel(spec).run(trace)
+        expected = 3.0 * 1000 * 100 / 1e9
+        assert rep.total_seconds == pytest.approx(expected, rel=0.01)
+
+
+class TestRooflineBehaviour:
+    def _trace_with_dense(self, rows, c):
+        trace = Trace()
+        trace.record(LayerSpec(name="d", kind=LayerKind.DENSE_MM, n_in=rows,
+                               n_out=rows, c_in=c, c_out=c, rows=rows))
+        return trace
+
+    def test_compute_bound_scales_with_flops(self):
+        model = get_platform("RTX 2080Ti")
+        small = model.run(self._trace_with_dense(10_000, 256)).total_seconds
+        big = model.run(self._trace_with_dense(20_000, 256)).total_seconds
+        assert big == pytest.approx(2 * small, rel=0.2)
+
+    def test_memory_bound_small_channels(self):
+        """Narrow layers hit the bandwidth roof, not the FLOP roof."""
+        spec = get_platform("RTX 2080Ti").spec
+        trace = self._trace_with_dense(100_000, 4)
+        rep = get_platform("RTX 2080Ti").run(trace)
+        flop_time = trace.specs[0].flops / (
+            spec.peak_gflops * 1e9 * spec.dense_efficiency
+        )
+        assert rep.total_seconds > flop_time * 2

@@ -1,0 +1,125 @@
+"""Tests for comparator arrays and bitonic networks."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpu import (
+    INVALID_KEY,
+    ComparatorArray,
+    bitonic_merge_network,
+    bitonic_sort_network,
+    merge_sorted_pair,
+    merger_comparators,
+    merger_stages,
+    sorter_comparators,
+    sorter_stages,
+)
+
+
+class TestComparatorArray:
+    def test_from_keys_copies(self):
+        keys = np.array([3, 1, 2], dtype=np.int64)
+        arr = ComparatorArray.from_keys(keys)
+        bitonic_sort_network(arr.pad_to(4))
+        assert keys.tolist() == [3, 1, 2]  # caller array untouched
+
+    def test_pad_and_valid_roundtrip(self):
+        arr = ComparatorArray.from_keys(np.array([5, 1]))
+        padded = arr.pad_to(8)
+        assert len(padded) == 8
+        assert padded.keys[-1] == INVALID_KEY
+        assert padded.valid().keys.tolist() == [5, 1]
+
+    def test_pad_too_small_raises(self):
+        arr = ComparatorArray.from_keys(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            arr.pad_to(2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ComparatorArray(np.array([1, 2]), np.array([1]))
+
+    def test_concat_and_slice(self):
+        a = ComparatorArray.from_keys(np.array([1, 2]))
+        b = ComparatorArray.from_keys(np.array([3]))
+        c = a.concat(b)
+        assert c.keys.tolist() == [1, 2, 3]
+        assert c[1:].keys.tolist() == [2, 3]
+
+    def test_is_sorted(self):
+        assert ComparatorArray.from_keys(np.array([1, 2, 2, 5])).is_sorted()
+        assert not ComparatorArray.from_keys(np.array([2, 1])).is_sorted()
+
+
+class TestStageCounts:
+    @pytest.mark.parametrize("width,expected", [(2, 1), (8, 3), (64, 6)])
+    def test_merger_stages(self, width, expected):
+        assert merger_stages(width) == expected
+
+    @pytest.mark.parametrize("width,expected", [(2, 1), (8, 6), (64, 21)])
+    def test_sorter_stages(self, width, expected):
+        assert sorter_stages(width) == expected
+
+    def test_comparator_counts(self):
+        assert merger_comparators(8) == 3 * 4
+        assert sorter_comparators(8) == 6 * 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            merger_stages(6)
+        with pytest.raises(ValueError):
+            sorter_stages(1)
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("n", [2, 4, 8, 32, 128])
+    def test_sort_matches_numpy(self, n, rng):
+        for _ in range(3):
+            keys = rng.integers(0, 100, size=n)
+            arr = ComparatorArray.from_keys(keys)
+            stats = bitonic_sort_network(arr)
+            assert np.array_equal(arr.keys, np.sort(keys))
+            assert np.array_equal(keys[arr.payloads], arr.keys)
+            assert stats.stages == sorter_stages(n)
+            assert stats.compare_ops == sorter_comparators(n)
+
+    def test_sort_with_duplicates(self, rng):
+        keys = rng.integers(0, 4, size=64)  # heavy duplication
+        arr = ComparatorArray.from_keys(keys)
+        bitonic_sort_network(arr)
+        assert np.array_equal(arr.keys, np.sort(keys))
+        assert sorted(arr.payloads.tolist()) == list(range(64))
+
+    def test_merge_network_on_bitonic_input(self, rng):
+        asc = np.sort(rng.integers(0, 50, size=8))
+        desc = np.sort(rng.integers(0, 50, size=8))[::-1]
+        arr = ComparatorArray.from_keys(np.concatenate([asc, desc]))
+        bitonic_merge_network(arr)
+        assert arr.is_sorted()
+
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_merge_sorted_pair(self, n, rng):
+        a = np.sort(rng.integers(0, 99, size=n))
+        b = np.sort(rng.integers(0, 99, size=n))
+        merged, stats = merge_sorted_pair(
+            ComparatorArray.from_keys(a), ComparatorArray.from_keys(b)
+        )
+        assert np.array_equal(merged.keys, np.sort(np.concatenate([a, b])))
+        assert stats.stages == merger_stages(2 * n)
+
+    def test_merge_requires_sorted_inputs(self):
+        a = ComparatorArray.from_keys(np.array([2, 1]))
+        b = ComparatorArray.from_keys(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            merge_sorted_pair(a, b)
+
+    def test_merge_requires_equal_lengths(self):
+        a = ComparatorArray.from_keys(np.array([1, 2]))
+        b = ComparatorArray.from_keys(np.array([1, 2, 3, 4]))
+        with pytest.raises(ValueError):
+            merge_sorted_pair(a, b)
+
+    def test_merger_cheaper_than_sorter(self):
+        """The whole point of merge-based design: merging two sorted halves
+        costs log(N) stages, not log^2(N)."""
+        assert merger_stages(64) < sorter_stages(64)

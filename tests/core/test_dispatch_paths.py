@@ -1,0 +1,89 @@
+"""Dispatch-completeness tests: every LayerKind through every machine model.
+
+Guards against silent gaps when new op kinds are added: each machine must
+either cost an op or reject it loudly.
+"""
+
+import pytest
+
+from repro.baselines import MESORASI_HW, get_platform
+from repro.core import PointAccModel, POINTACC_FULL
+from repro.nn.trace import LayerKind, LayerSpec, Trace
+
+
+def spec_for(kind: LayerKind) -> LayerSpec:
+    common = dict(n_in=256, n_out=64, c_in=16, c_out=16, rows=256)
+    if kind is LayerKind.SPARSE_CONV:
+        return LayerSpec(name="x", kind=kind, n_maps=1024, kernel_volume=27,
+                         **{**common, "rows": 1024})
+    if kind in (LayerKind.GATHER, LayerKind.SCATTER):
+        return LayerSpec(name="x", kind=kind, n_maps=512, **common)
+    if kind in (LayerKind.MAP_KNN, LayerKind.MAP_BALL):
+        return LayerSpec(name="x", kind=kind, n_maps=512, kernel_volume=8,
+                         **common)
+    if kind is LayerKind.MAP_KERNEL:
+        return LayerSpec(name="x", kind=kind, n_maps=512, kernel_volume=27,
+                         **common)
+    return LayerSpec(name="x", kind=kind, **common)
+
+
+ALL_KINDS = list(LayerKind)
+
+
+class TestPointAccDispatch:
+    @pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+    def test_every_kind_handled(self, kind):
+        trace = Trace()
+        trace.record(spec_for(kind))
+        rep = PointAccModel(POINTACC_FULL).run(trace)
+        if kind.is_movement:
+            assert rep.records == []  # absorbed by the MMU
+        else:
+            assert len(rep.records) == 1
+            assert rep.records[0].seconds > 0
+
+    def test_random_sampling_cheaper_than_fps(self):
+        fps = Trace()
+        fps.record(spec_for(LayerKind.MAP_FPS))
+        rnd = Trace()
+        rnd.record(spec_for(LayerKind.MAP_RANDOM))
+        model = PointAccModel(POINTACC_FULL)
+        assert (model.run(rnd).total_seconds
+                < model.run(fps).total_seconds)
+
+
+class TestPlatformDispatch:
+    @pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.value)
+    def test_every_kind_handled(self, kind):
+        trace = Trace()
+        trace.record(spec_for(kind))
+        rep = get_platform("RTX 2080Ti").run(trace)
+        assert len(rep.records) == 1
+        assert rep.records[0].seconds > 0
+
+    def test_movement_costed_not_absorbed(self):
+        trace = Trace()
+        trace.record(spec_for(LayerKind.GATHER))
+        rep = get_platform("Xeon Gold 6130").run(trace)
+        assert rep.latency_breakdown()["movement"] > 0
+
+
+class TestMesorasiDispatch:
+    @pytest.mark.parametrize(
+        "kind",
+        [k for k in ALL_KINDS if k is not LayerKind.SPARSE_CONV],
+        ids=lambda k: k.value,
+    )
+    def test_non_sparse_kinds_handled(self, kind):
+        trace = Trace()
+        trace.record(spec_for(kind))
+        rep = MESORASI_HW.run(trace, apply_transform=False)
+        assert len(rep.records) == 1
+
+    def test_sparse_conv_rejected(self):
+        trace = Trace()
+        trace.record(spec_for(LayerKind.SPARSE_CONV))
+        from repro.baselines import UnsupportedModelError
+
+        with pytest.raises(UnsupportedModelError):
+            MESORASI_HW.run(trace, apply_transform=False)

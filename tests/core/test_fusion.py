@@ -1,0 +1,168 @@
+"""Tests for the temporal layer-fusion planner and stack simulation."""
+
+import pytest
+
+from repro.core.mmu import (
+    FusionGroup,
+    FusionPlanner,
+    find_fusible_chains,
+    simulate_fusion_stack,
+)
+from repro.nn.trace import LayerKind, LayerSpec, Trace
+
+
+def dense(name, rows, c_in, c_out, fusible=True):
+    return LayerSpec(
+        name=name, kind=LayerKind.DENSE_MM, n_in=rows, n_out=rows,
+        c_in=c_in, c_out=c_out, rows=rows, fusible=fusible,
+    )
+
+
+def pool(rows, c, kind=LayerKind.POOL_MAX, n_out=None):
+    return LayerSpec(
+        name="pool", kind=kind, n_in=rows, n_out=n_out or rows // 4,
+        c_in=c, c_out=c, rows=rows,
+    )
+
+
+@pytest.fixture
+def planner():
+    return FusionPlanner(
+        feature_buffer_bytes=64 * 1024, weight_buffer_bytes=64 * 1024
+    )
+
+
+class TestChains:
+    def test_pool_breaks_chain(self):
+        trace = Trace()
+        trace.record(dense("a", 128, 8, 8))
+        trace.record(dense("b", 128, 8, 8))
+        trace.record(pool(128, 8))
+        trace.record(dense("c", 32, 8, 8))
+        chains = find_fusible_chains(trace)
+        assert [len(c) for c, _ in chains] == [2, 1]
+
+    def test_row_change_breaks_chain(self):
+        trace = Trace()
+        trace.record(dense("a", 128, 8, 8))
+        trace.record(dense("b", 64, 8, 8))
+        chains = find_fusible_chains(trace)
+        assert [len(c) for c, _ in chains] == [1, 1]
+
+    def test_global_pool_flag(self):
+        trace = Trace()
+        trace.record(dense("a", 128, 8, 8))
+        trace.record(pool(128, 8, kind=LayerKind.GLOBAL_POOL, n_out=1))
+        trace.record(dense("b", 1, 8, 8))
+        chains = find_fusible_chains(trace)
+        assert chains[0][1] is True  # feeds a global pool
+        assert chains[1][1] is False
+
+    def test_non_fusible_dense_excluded(self):
+        trace = Trace()
+        trace.record(dense("a", 128, 8, 8, fusible=False))
+        assert find_fusible_chains(trace) == []
+
+
+class TestPlanner:
+    def test_fuses_within_budget(self, planner):
+        chain = [dense(f"l{i}", 256, 16, 16) for i in range(4)]
+        groups = planner.plan_chain(chain)
+        assert len(groups) == 1
+        assert groups[0].n_layers == 4
+        assert groups[0].tile_points >= planner.min_tile_points
+
+    def test_drops_last_layer_on_weight_overflow(self):
+        planner = FusionPlanner(
+            feature_buffer_bytes=64 * 1024, weight_buffer_bytes=2048
+        )
+        # Third layer's weights (64x64x2 = 8 KB) overflow a 2 KB buffer.
+        chain = [dense("a", 256, 4, 8), dense("b", 256, 8, 8),
+                 dense("c", 256, 8, 64), dense("d", 256, 64, 64)]
+        groups = planner.plan_chain(chain)
+        assert len(groups) >= 2
+        assert all(
+            sum(s.c_in * s.c_out for s in g.specs) * 2 <= 2048
+            or g.n_layers == 1
+            for g in groups
+        )
+
+    def test_fused_traffic_less_than_unfused(self, planner):
+        chain = [dense(f"l{i}", 512, 32, 32) for i in range(3)]
+        group = planner.plan_chain(chain)[0]
+        assert group.dram_bytes(2) < group.unfused_dram_bytes(2)
+
+    def test_singleton_group_no_benefit(self, planner):
+        group = planner.plan_chain([dense("a", 100, 8, 8)])[0]
+        assert group.dram_bytes(2) == group.unfused_dram_bytes(2)
+
+    def test_elide_output_reduces_writes(self, planner):
+        trace = Trace()
+        trace.record(dense("a", 512, 16, 256))
+        trace.record(pool(512, 256, kind=LayerKind.GLOBAL_POOL, n_out=1))
+        plan = planner.plan(trace)
+        assert plan.groups[0].elide_output
+        not_elided = FusionGroup(
+            specs=plan.groups[0].specs,
+            tile_points=plan.groups[0].tile_points,
+        )
+        assert plan.groups[0].dram_bytes(2) < not_elided.dram_bytes(2)
+
+    def test_plan_reduction_metric(self, planner):
+        trace = Trace()
+        for i in range(4):
+            trace.record(dense(f"l{i}", 1024, 64, 64))
+        plan = planner.plan(trace)
+        assert 0.0 < plan.reduction(2) < 1.0
+
+    def test_invalid_buffers(self):
+        with pytest.raises(ValueError):
+            FusionPlanner(0, 1024)
+
+
+class TestStackSimulation:
+    def test_all_rows_computed_each_layer(self, planner):
+        chain = [dense(f"l{i}", 300, 16, 16) for i in range(3)]
+        group = planner.plan_chain(chain)[0]
+        result = simulate_fusion_stack(group, 64 * 1024)
+        assert result["rows_computed"] == [300, 300, 300]
+
+    def test_never_exceeds_buffer(self, planner):
+        chain = [dense("a", 500, 8, 32), dense("b", 500, 32, 64),
+                 dense("c", 500, 64, 16)]
+        group = planner.plan_chain(chain)[0]
+        result = simulate_fusion_stack(group, 64 * 1024)
+        assert result["peak_bytes"] <= 64 * 1024
+
+    def test_deep_stack_with_tight_buffer(self):
+        """Force the Fig. 12 sub-tiling: a tile too big to flow through in
+        one chunk leaves a partially-consumed tile under the next layer's
+        push — stack depth >= 2, exactly the paper's staged walkthrough."""
+        chain = [dense("a", 64, 16, 64), dense("b", 64, 64, 64),
+                 dense("c", 64, 64, 16)]
+        group = FusionGroup(specs=chain, tile_points=64)
+        result = simulate_fusion_stack(group, 6 * 1024)
+        assert result["peak_depth"] >= 2
+        assert result["peak_bytes"] <= 6 * 1024
+        assert all(r == 64 for r in result["rows_computed"])
+
+    def test_planner_tiles_keep_stack_within_plan(self):
+        """Tiles chosen by the planner's sum-of-widths bound always flow
+        without overflowing the physical buffer."""
+        planner = FusionPlanner(
+            feature_buffer_bytes=8 * 1024, weight_buffer_bytes=64 * 1024,
+            min_tile_points=8,
+        )
+        chain = [dense(f"l{i}", 256, 64, 64) for i in range(3)]
+        groups = planner.plan_chain(chain)
+        for group in groups:
+            result = simulate_fusion_stack(group, 8 * 1024)
+            assert result["peak_bytes"] <= 8 * 1024
+            assert all(r == group.rows for r in result["rows_computed"])
+
+    def test_stack_empties_between_tiles(self, planner):
+        chain = [dense("a", 100, 8, 8), dense("b", 100, 8, 8)]
+        group = planner.plan_chain(chain)[0]
+        group.tile_points = 32  # multiple tiles
+        result = simulate_fusion_stack(group, 64 * 1024)
+        assert result["rows_computed"] == [100, 100]

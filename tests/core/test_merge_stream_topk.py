@@ -1,0 +1,127 @@
+"""Tests for the streaming merger (Fig. 10a) and Sort/TopK (Fig. 10b/c)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpu import (
+    ComparatorArray,
+    StreamingMerger,
+    mpu_sort,
+    mpu_topk,
+    quickselect_topk_cycles,
+    sort_cycles,
+    streaming_merge_cycles,
+    topk_cycles,
+)
+
+
+def make(keys, tag=0):
+    keys = np.asarray(keys, dtype=np.int64)
+    return ComparatorArray(keys.copy(), np.arange(len(keys)) + tag * 1000)
+
+
+class TestStreamingMerger:
+    def test_paper_example_shape(self):
+        """Fig. 10a: width-8 merger, two streams of 8 elements."""
+        a = make([1, 2, 3, 4, 5, 6, 7, 8])
+        b = make([2, 3, 4, 5, 6, 7, 8, 9], tag=1)
+        merged, stats = StreamingMerger(8).merge(a, b)
+        assert merged.keys.tolist() == sorted(a.keys.tolist() + b.keys.tolist())
+        assert stats.cycles == streaming_merge_cycles(8, 8, 8)
+
+    @pytest.mark.parametrize("width", [4, 8, 32])
+    def test_random_merges(self, width, rng):
+        merger = StreamingMerger(width)
+        for _ in range(30):
+            la, lb = rng.integers(0, 60, size=2)
+            a = np.sort(rng.integers(0, 40, size=la))
+            b = np.sort(rng.integers(0, 40, size=lb))
+            merged, stats = merger.merge(make(a), make(b, tag=1))
+            assert merged.keys.tolist() == sorted(a.tolist() + b.tolist())
+            assert stats.cycles == streaming_merge_cycles(la, lb, width)
+
+    def test_payload_multiset_preserved(self, rng):
+        a = np.sort(rng.integers(0, 10, size=17))
+        b = np.sort(rng.integers(0, 10, size=9))
+        merged, _ = StreamingMerger(8).merge(make(a), make(b, tag=1))
+        expect = list(range(17)) + [1000 + i for i in range(9)]
+        assert sorted(merged.payloads.tolist()) == sorted(expect)
+
+    def test_empty_streams(self):
+        merger = StreamingMerger(8)
+        merged, stats = merger.merge(make([]), make([]))
+        assert len(merged) == 0 and stats.cycles == 0
+        merged, stats = merger.merge(make([1, 2, 3]), make([]))
+        assert merged.keys.tolist() == [1, 2, 3]
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingMerger(8).merge(make([2, 1]), make([]))
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            StreamingMerger(6)
+
+    def test_cycle_formula_is_window_count(self):
+        # ceil(20/4) + ceil(9/4) windows of half=4 for width 8.
+        assert streaming_merge_cycles(20, 9, 8) == 5 + 3
+        assert streaming_merge_cycles(0, 0, 8) == 0
+
+
+class TestMPUSort:
+    @pytest.mark.parametrize("width", [8, 64])
+    def test_sort_arbitrary_lengths(self, width, rng):
+        for n in (1, 3, 7, 33, 150):
+            keys = rng.integers(0, 500, size=n)
+            out, stats = mpu_sort(ComparatorArray.from_keys(keys), width)
+            assert np.array_equal(out.keys, np.sort(keys))
+            assert stats.cycles == sort_cycles(n, width)
+
+    def test_sort_empty(self):
+        out, stats = mpu_sort(ComparatorArray.from_keys(np.array([])), 8)
+        assert len(out) == 0 and stats.cycles == 0
+
+    def test_cycles_scale_n_log_chunks(self):
+        """The merge tree streams all P elements once per level."""
+        c_small = sort_cycles(1000, 64)
+        c_double = sort_cycles(2000, 64)
+        assert c_small * 2 <= c_double <= c_small * 2.6
+
+
+class TestMPUTopK:
+    @pytest.mark.parametrize("width", [8, 64])
+    def test_topk_matches_sorted_prefix(self, width, rng):
+        for n, k in ((50, 5), (100, 16), (9, 20), (257, 1)):
+            keys = rng.integers(0, 10_000, size=n)
+            out, stats = mpu_topk(ComparatorArray.from_keys(keys), k, width)
+            assert np.array_equal(out.keys, np.sort(keys)[: min(k, n)])
+            assert stats.cycles == topk_cycles(n, k, width)
+
+    def test_topk_cheaper_than_sort(self):
+        n, width = 8192, 64
+        assert topk_cycles(n, 16, width) < sort_cycles(n, width)
+
+    def test_truncation_saves_more_for_smaller_k(self):
+        n, width = 8192, 64
+        assert topk_cycles(n, 16, width) <= topk_cycles(n, 64, width)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            mpu_topk(ComparatorArray.from_keys(np.array([1])), 0, 8)
+
+
+class TestQuickSelectComparison:
+    def test_typical_point_cloud_case_favors_mpu(self):
+        """Section 4.1.4: k tiny vs n -> merge-tree TopK beats quick-select
+        (averaged over pivot randomness)."""
+        n, k, width = 8192, 32, 64
+        mpu = topk_cycles(n, k, width)
+        qs = np.mean([
+            quickselect_topk_cycles(n, k, lanes=width // 2, seed=s)
+            for s in range(50)
+        ])
+        assert qs / mpu > 1.0
+
+    def test_quickselect_terminates(self):
+        cycles = quickselect_topk_cycles(10_000, 8, lanes=32, seed=0)
+        assert 0 < cycles < 10_000

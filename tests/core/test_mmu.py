@@ -1,0 +1,232 @@
+"""Tests for MIR container, cache, dataflows and the MMU."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POINTACC_FULL
+from repro.core.mmu import (
+    CacheConfig,
+    InputFeatureCache,
+    MIRContainer,
+    MemoryManagementUnit,
+    fetch_on_demand_cost,
+    gather_matmul_scatter_cost,
+    simulate_conv_cache,
+)
+from repro.mapping.kernel_map import kernel_map_mergesort
+from repro.mapping.maps import MapTable
+from repro.nn.trace import LayerKind, LayerSpec
+
+
+class TestMIRContainer:
+    def test_stack_push_pop(self):
+        c = MIRContainer(1024, 4)
+        a = c.push(256)
+        b = c.push(128)
+        assert c.top() is b
+        assert c.allocated_bytes == 384
+        assert c.pop() is b
+        assert c.top() is a
+
+    def test_overflow_raises(self):
+        c = MIRContainer(100, 4)
+        c.push(80)
+        with pytest.raises(OverflowError):
+            c.push(30)
+
+    def test_entry_limit(self):
+        c = MIRContainer(1000, 2)
+        c.push(10)
+        c.push(10)
+        with pytest.raises(OverflowError):
+            c.push(10)
+
+    def test_shrink_top_releases_and_pops_at_zero(self):
+        c = MIRContainer(1024, 4)
+        c.push(100)
+        c.shrink_top(40)
+        assert c.top().capacity == 60
+        c.shrink_top(60)
+        assert len(c) == 0
+
+    def test_shrink_beyond_occupancy_raises(self):
+        c = MIRContainer(1024, 4)
+        c.push(100)
+        with pytest.raises(ValueError):
+            c.shrink_top(200)
+
+    def test_fifo_semantics(self):
+        c = MIRContainer(1024, 4)
+        a = c.enqueue(10)
+        b = c.enqueue(20)
+        assert c.front() is a
+        assert c.dequeue() is a
+        assert c.front() is b
+
+    def test_empty_access_raises(self):
+        c = MIRContainer(64, 2)
+        with pytest.raises(IndexError):
+            c.top()
+        with pytest.raises(IndexError):
+            c.dequeue()
+
+    def test_tag_array_mode(self):
+        c = MIRContainer(1024, 8)
+        c.init_tag_array(n_sets=4, block_bytes=256)
+        assert not c.lookup(0, tag=7)  # cold miss installs
+        assert c.lookup(0, tag=7)  # now hits
+        assert not c.lookup(0, tag=9)  # conflict evicts
+        assert not c.lookup(0, tag=7)
+
+    def test_tag_array_capacity_check(self):
+        c = MIRContainer(512, 8)
+        with pytest.raises(OverflowError):
+            c.init_tag_array(n_sets=4, block_bytes=256)
+
+
+class TestCache:
+    def test_config_geometry(self):
+        cfg = CacheConfig(capacity_bytes=4096, block_points=4, c_in=16)
+        assert cfg.point_bytes == 32
+        assert cfg.block_bytes == 128
+        assert cfg.n_sets == 32
+        assert cfg.words_per_point == 1
+
+    def test_capacity_below_block_raises(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=64, block_points=64, c_in=64)
+
+    def test_sequential_stream_mostly_hits(self):
+        cfg = CacheConfig(capacity_bytes=4096, block_points=8, c_in=16)
+        cache = InputFeatureCache(cfg)
+        for p in range(64):
+            cache.access_point(p)
+        # One miss per block of 8 points.
+        assert cache.stats.misses == 8
+
+    def test_vectorized_equals_stepwise(self, rng):
+        for _ in range(10):
+            n_in = int(rng.integers(8, 200))
+            n_maps = int(rng.integers(1, 1500))
+            mt = MapTable(
+                rng.integers(0, n_in, n_maps),
+                rng.integers(0, n_in, n_maps),
+                rng.integers(0, 27, n_maps),
+                kernel_volume=27,
+            )
+            cfg = CacheConfig(
+                capacity_bytes=2048,
+                block_points=int(rng.choice([1, 2, 4])),
+                c_in=int(rng.choice([8, 32, 64])),
+            )
+            fast = simulate_conv_cache(mt, cfg)
+            slow = InputFeatureCache(cfg)
+            for p in mt.sorted_by(by="weight").in_idx.tolist():
+                slow.access_point(int(p))
+            assert fast.misses == slow.stats.misses
+            assert fast.accesses == slow.stats.accesses
+
+    def test_miss_rate_decreases_with_block_size(self, voxel_tensor):
+        maps = kernel_map_mergesort(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        rates = []
+        for block in (1, 4, 16, 64):
+            cfg = CacheConfig(capacity_bytes=64 * 1024, block_points=block, c_in=64)
+            rates.append(simulate_conv_cache(maps, cfg).miss_rate)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_miss_rate_halves_with_double_channels(self, voxel_tensor):
+        """Fig. 18: wider features -> more words per (missing) first touch."""
+        maps = kernel_map_mergesort(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        r64 = simulate_conv_cache(
+            maps, CacheConfig(64 * 1024, 1, 64)
+        ).miss_rate
+        r128 = simulate_conv_cache(
+            maps, CacheConfig(64 * 1024, 1, 128)
+        ).miss_rate
+        assert r128 == pytest.approx(r64 / 2, rel=0.1)
+
+    def test_empty_maps(self):
+        mt = MapTable(np.empty(0), np.empty(0), np.empty(0), 27)
+        stats = simulate_conv_cache(mt, CacheConfig(1024, 1, 16))
+        assert stats.accesses == 0 and stats.miss_rate == 0.0
+
+
+def _conv_spec(n_in=500, n_out=500, c_in=32, c_out=32, n_maps=5000, kv=27):
+    return LayerSpec(
+        name="conv", kind=LayerKind.SPARSE_CONV, n_in=n_in, n_out=n_out,
+        c_in=c_in, c_out=c_out, rows=n_maps, n_maps=n_maps, kernel_volume=kv,
+    )
+
+
+class TestDataflows:
+    def test_gs_flow_bytes_breakdown(self):
+        spec = _conv_spec()
+        cost = gather_matmul_scatter_cost(spec, elem_bytes=2)
+        eb = 2
+        assert cost.input_read == 5000 * 32 * eb
+        assert cost.gathered_write == cost.gathered_read == 5000 * 32 * eb
+        assert cost.psum_write == cost.psum_read == 5000 * 32 * eb
+        assert cost.output_write == 500 * 32 * eb
+        assert cost.total_bytes == cost.read_bytes + cost.write_bytes
+
+    def test_fd_saves_input_traffic_3x(self, voxel_tensor):
+        """Paper Section 4.2.3: F-D saves input-feature DRAM by >= 3x."""
+        maps = kernel_map_mergesort(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        spec = _conv_spec(
+            n_in=voxel_tensor.n, n_out=voxel_tensor.n, n_maps=maps.n_maps
+        )
+        gs = gather_matmul_scatter_cost(spec, 2)
+        fd, stats = fetch_on_demand_cost(spec, 256 * 1024, maps=maps)
+        assert stats is not None
+        assert gs.input_feature_bytes / fd.input_read >= 3.0
+
+    def test_fd_analytical_fallback(self):
+        spec = _conv_spec()
+        cost, stats = fetch_on_demand_cost(spec, 256 * 1024, maps=None)
+        assert stats is None
+        assert cost.input_read >= spec.n_in * spec.c_in * 2  # >= cold pass
+
+    def test_wrong_kind_rejected(self):
+        dense = LayerSpec(name="d", kind=LayerKind.DENSE_MM, n_in=1, n_out=1,
+                          c_in=4, c_out=4, rows=1)
+        with pytest.raises(ValueError):
+            gather_matmul_scatter_cost(dense)
+        with pytest.raises(ValueError):
+            fetch_on_demand_cost(dense, 1024)
+
+
+class TestMMUUnit:
+    def test_block_size_autotuning_picks_minimum(self, voxel_tensor):
+        mmu = MemoryManagementUnit(POINTACC_FULL)
+        maps = kernel_map_mergesort(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        spec = _conv_spec(
+            n_in=voxel_tensor.n, n_out=voxel_tensor.n, n_maps=maps.n_maps
+        )
+        cost = mmu.sparse_conv_cost(spec, maps)
+        assert cost.block_points in (1, 2, 4, 8, 16, 32, 64, 128)
+        # Chosen block is at least as good as fixed block=1.
+        fixed, _ = fetch_on_demand_cost(
+            spec, mmu.input_buffer_bytes, block_points=1, maps=maps
+        )
+        assert cost.total_bytes <= fixed.total_bytes
+
+    def test_fd_beats_gs_for_whole_layer(self, voxel_tensor):
+        mmu = MemoryManagementUnit(POINTACC_FULL)
+        maps = kernel_map_mergesort(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        spec = LayerSpec(
+            name="c", kind=LayerKind.SPARSE_CONV, n_in=voxel_tensor.n,
+            n_out=voxel_tensor.n, c_in=32, c_out=32, rows=maps.n_maps,
+            n_maps=maps.n_maps, kernel_volume=27, params={"maps": maps},
+        )
+        fd = mmu.sparse_conv_cost(spec)
+        gs = mmu.gather_scatter_cost(spec)
+        assert fd.total_bytes < gs.total_bytes
+
+    def test_dense_costs(self):
+        mmu = MemoryManagementUnit(POINTACC_FULL)
+        dense = LayerSpec(name="d", kind=LayerKind.DENSE_MM, n_in=100,
+                          n_out=100, c_in=8, c_out=16, rows=100, fusible=True)
+        cost = mmu.unfused_dense_cost(dense)
+        eb = 2
+        assert cost.dram_read_bytes == 100 * 8 * eb + 8 * 16 * eb
+        assert cost.dram_write_bytes == 100 * 16 * eb

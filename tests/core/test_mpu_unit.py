@@ -1,0 +1,139 @@
+"""Tests for the intersection detector and the full Mapping Unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import POINTACC_EDGE, POINTACC_FULL
+from repro.core.mpu import MappingUnit, detect_intersections, detector_stages
+from repro.mapping import (
+    ball_query_maps,
+    farthest_point_sampling,
+    kernel_map_hash,
+    knn_maps,
+)
+from repro.pointcloud.coords import quantize_unique
+
+
+class TestIntersectionDetector:
+    def test_finds_adjacent_equal_pairs(self):
+        keys = np.array([1, 2, 2, 3, 5, 5, 9])
+        payloads = np.array([10, 20, 21, 30, 50, 51, 90])
+        from_output = np.array([False, True, False, False, False, True, True])
+        ins, outs, stats = detect_intersections(keys, payloads, from_output, 8)
+        assert stats.pairs == 2
+        assert ins.tolist() == [21, 50]
+        assert outs.tolist() == [20, 51]
+
+    def test_no_intersections(self):
+        keys = np.array([1, 2, 3])
+        ins, outs, stats = detect_intersections(
+            keys, keys, np.array([True, False, True]), 8
+        )
+        assert len(ins) == 0 and stats.pairs == 0
+
+    def test_same_side_duplicates_rejected(self):
+        keys = np.array([2, 2])
+        with pytest.raises(ValueError):
+            detect_intersections(
+                keys, keys, np.array([True, True]), 8
+            )
+
+    def test_cycle_count_streams_width_blocks(self):
+        keys = np.arange(100)
+        _, _, stats = detect_intersections(
+            keys, keys, np.zeros(100, dtype=bool), 8
+        )
+        assert stats.cycles == -(-100 // 8)
+
+    def test_detector_stages_log(self):
+        assert detector_stages(64) == 6
+        with pytest.raises(ValueError):
+            detector_stages(5)
+
+
+@pytest.fixture
+def mpu():
+    return MappingUnit(POINTACC_FULL)
+
+
+class TestMappingUnitFunctional:
+    """The MPU's functional outputs equal the reference algorithms."""
+
+    def test_kernel_map_matches_hash(self, mpu, voxel_tensor):
+        down = voxel_tensor.downsample(2)
+        maps, stats = mpu.kernel_map(
+            voxel_tensor.coords, down.coords, 2, voxel_tensor.tensor_stride
+        )
+        ref = kernel_map_hash(
+            voxel_tensor.coords, down.coords, 2, voxel_tensor.tensor_stride
+        )
+        assert maps.as_set() == ref.as_set()
+        assert stats.cycles > 0
+        assert stats.dram_write_bytes > 0
+
+    def test_fps_matches_reference(self, mpu, object_cloud):
+        idx, stats = mpu.fps(object_cloud.points, 32)
+        ref = farthest_point_sampling(object_cloud.points, 32)
+        assert np.array_equal(idx, ref)
+        assert stats.distance_ops == 32 * object_cloud.n
+
+    def test_knn_matches_reference(self, mpu, object_cloud):
+        queries = object_cloud.points[:16]
+        maps, stats = mpu.knn(queries, object_cloud.points, 8)
+        ref = knn_maps(queries, object_cloud.points, 8)
+        assert maps.as_set() == ref.as_set()
+        assert stats.cycles > 0
+
+    def test_ball_query_matches_reference(self, mpu, object_cloud):
+        queries = object_cloud.points[:16]
+        maps, _ = mpu.ball_query(queries, object_cloud.points, 0.4, 8)
+        ref = ball_query_maps(queries, object_cloud.points, 0.4, 8)
+        assert maps.as_set() == ref.as_set()
+
+    def test_quantize_matches_reference(self, mpu, voxel_tensor):
+        out, inverse, stats = mpu.quantize(voxel_tensor.coords, 4)
+        ref_out, ref_inv = quantize_unique(voxel_tensor.coords, 4)
+        assert np.array_equal(out, ref_out)
+        assert np.array_equal(inverse, ref_inv)
+        assert stats.cycles == -(-voxel_tensor.n // mpu.width)
+
+
+class TestMappingUnitCosts:
+    def test_kernel_map_cycles_scale_with_kernel_volume(self, voxel_tensor):
+        mpu = MappingUnit(POINTACC_FULL)
+        down = voxel_tensor.downsample(2)
+        _, k2 = mpu.kernel_map(voxel_tensor.coords, down.coords, 2, 1)
+        _, k3 = mpu.kernel_map(voxel_tensor.coords, voxel_tensor.coords, 3, 1)
+        # 27 offsets vs 8 offsets over comparable stream lengths.
+        assert k3.cycles > k2.cycles
+
+    def test_edge_config_slower(self, voxel_tensor):
+        full = MappingUnit(POINTACC_FULL)
+        edge = MappingUnit(POINTACC_EDGE)
+        down = voxel_tensor.downsample(2)
+        _, f = full.kernel_map(voxel_tensor.coords, down.coords, 2, 1)
+        _, e = edge.kernel_map(voxel_tensor.coords, down.coords, 2, 1)
+        assert e.cycles > f.cycles  # narrower merger
+
+    def test_fps_spill_increases_dram(self):
+        """Clouds beyond the sorter buffer re-stream from DRAM per iteration."""
+        mpu = MappingUnit(POINTACC_EDGE)
+        rng = np.random.default_rng(0)
+        small = rng.random((500, 3))
+        big = rng.random((6000, 3))
+        _, s_small = mpu.fps(small, 8)
+        _, s_big = mpu.fps(big, 8)
+        per_point_small = s_small.dram_read_bytes / 500
+        per_point_big = s_big.dram_read_bytes / 6000
+        assert per_point_big > per_point_small
+
+    def test_feature_space_knn_costs_more(self, object_cloud):
+        mpu = MappingUnit(POINTACC_FULL)
+        q = object_cloud.points[:8]
+        _, d3 = mpu.knn(q, object_cloud.points, 4, distance_dim=3)
+        _, d64 = mpu.knn(q, object_cloud.points, 4, distance_dim=64)
+        assert d64.cycles > d3.cycles
+
+    def test_hash_alternative_cycles_positive(self):
+        mpu = MappingUnit(POINTACC_FULL)
+        assert mpu.hash_kernel_map_cycles(1000, 500, 27) > 0

@@ -1,0 +1,160 @@
+"""Tests for the Matrix Unit, energy model, area model and configs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AreaModel,
+    DEFAULT_ENERGY,
+    EnergyLedger,
+    POINTACC_EDGE,
+    POINTACC_FULL,
+    sram_pj_per_byte,
+)
+from repro.core.config import DRAMSpec, HBM2, SRAMBudget
+from repro.core.mxu import MatrixUnit, systolic_matmul
+from repro.nn.trace import LayerKind, LayerSpec
+
+
+class TestSystolicFunctional:
+    @pytest.mark.parametrize(
+        "n,c_in,c_out,rows,cols",
+        [(4, 3, 3, 4, 4), (6, 4, 8, 4, 8), (1, 2, 2, 2, 2), (9, 8, 4, 8, 4)],
+    )
+    def test_matches_numpy(self, n, c_in, c_out, rows, cols, rng):
+        x = rng.normal(size=(n, c_in))
+        w = rng.normal(size=(c_in, c_out))
+        out, cycles = systolic_matmul(x, w, rows, cols)
+        assert np.allclose(out, x @ w)
+        assert cycles == n + rows + cols - 1
+
+    def test_tile_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            systolic_matmul(rng.normal(size=(2, 8)), rng.normal(size=(8, 2)), 4, 4)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            systolic_matmul(rng.normal(size=(2, 3)), rng.normal(size=(4, 2)), 4, 4)
+
+
+class TestMatrixUnitCosts:
+    def test_dense_cycles_single_tile(self):
+        mxu = MatrixUnit(64, 64)
+        stats = mxu.dense_mm(1000, 64, 64)
+        assert stats.cycles == 1000 + 127
+        assert stats.macs == 1000 * 64 * 64
+
+    def test_dense_cycles_tiled(self):
+        mxu = MatrixUnit(64, 64)
+        stats = mxu.dense_mm(1000, 128, 256)
+        assert stats.cycles == 2 * 4 * (1000 + 127)
+
+    def test_sparse_conv_streams_maps(self):
+        mxu = MatrixUnit(64, 64)
+        spec = LayerSpec(
+            name="c", kind=LayerKind.SPARSE_CONV, n_in=100, n_out=100,
+            c_in=64, c_out=64, rows=2700, n_maps=2700, kernel_volume=27,
+        )
+        stats = mxu.sparse_conv(spec)
+        assert stats.cycles == 2700 + 27 * 127
+        assert stats.macs == 2700 * 64 * 64
+
+    def test_utilization_high_for_long_streams(self):
+        mxu = MatrixUnit(64, 64)
+        stats = mxu.dense_mm(100_000, 64, 64)
+        util = stats.macs / (stats.cycles * 64 * 64)
+        assert util > 0.99
+
+    def test_spec_cost_dispatch(self):
+        mxu = MatrixUnit(16, 16)
+        dense = LayerSpec(name="d", kind=LayerKind.DENSE_MM, n_in=10,
+                          n_out=10, c_in=4, c_out=4, rows=10)
+        assert mxu.spec_cost(dense).macs == 160
+        pool = LayerSpec(name="p", kind=LayerKind.POOL_MAX, n_in=10,
+                         n_out=5, rows=10)
+        with pytest.raises(ValueError):
+            mxu.spec_cost(pool)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MatrixUnit(0, 4)
+
+
+class TestEnergy:
+    def test_sram_energy_grows_with_macro_size(self):
+        assert sram_pj_per_byte(256) > sram_pj_per_byte(16)
+        with pytest.raises(ValueError):
+            sram_pj_per_byte(0)
+
+    def test_ledger_accumulates(self):
+        a = EnergyLedger(compute_pj=10, sram_pj=5, dram_pj=3)
+        b = EnergyLedger(compute_pj=1, static_pj=2)
+        a.add(b)
+        assert a.total_pj == 21
+        assert a.total_joules == pytest.approx(21e-12)
+
+    def test_breakdown_sums_to_one(self):
+        ledger = EnergyLedger(compute_pj=70, sram_pj=10, dram_pj=20)
+        pie = ledger.breakdown()
+        assert sum(pie.values()) == pytest.approx(1.0)
+        assert pie["compute"] == pytest.approx(0.7)
+
+    def test_breakdown_empty(self):
+        assert EnergyLedger().breakdown() == {
+            "compute": 0.0, "sram": 0.0, "dram": 0.0
+        }
+
+
+class TestConfigs:
+    def test_table3_peak_performance(self):
+        assert POINTACC_FULL.peak_ops == pytest.approx(8.192e12)  # 8 TOPS
+        assert POINTACC_EDGE.peak_ops == pytest.approx(512e9)  # 512 GOPS
+
+    def test_table3_sram_totals(self):
+        assert POINTACC_FULL.sram.total_kb == pytest.approx(776.0)
+        assert POINTACC_EDGE.sram.total_kb == pytest.approx(274.0)
+
+    def test_table3_bandwidth(self):
+        assert POINTACC_FULL.dram.bandwidth_gbps == 256.0
+        assert POINTACC_EDGE.dram.bandwidth_gbps == 17.0
+
+    def test_dram_transfer_math(self):
+        assert HBM2.transfer_seconds(256e9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            HBM2.transfer_seconds(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DRAMSpec("x", 10.0, 1.0).transfer_seconds(-5)
+
+    def test_sram_budget_bytes(self):
+        budget = SRAMBudget(1, 1, 1, 1, 1, 1, 2)
+        assert budget.total_kb == 8
+        assert budget.total_bytes == 8192
+
+
+class TestArea:
+    def test_full_area_matches_table3(self):
+        assert AreaModel(POINTACC_FULL).total_mm2 == pytest.approx(15.7, rel=0.05)
+
+    def test_edge_area_near_table3(self):
+        # Component model lands within ~15% of the synthesized 3.9 mm2.
+        assert AreaModel(POINTACC_EDGE).total_mm2 == pytest.approx(3.9, rel=0.15)
+
+    def test_hash_design_larger(self):
+        for cfg in (POINTACC_FULL, POINTACC_EDGE):
+            model = AreaModel(cfg)
+            assert model.hash_vs_mergesort_ratio() > 5.0
+
+    def test_paper_14x_claim_reached(self):
+        """'saving up to 14x area': the max over configurations ~14x."""
+        ratios = [
+            AreaModel(cfg).hash_vs_mergesort_ratio()
+            for cfg in (POINTACC_FULL, POINTACC_EDGE)
+        ]
+        assert max(ratios) == pytest.approx(14.0, rel=0.15)
+
+    def test_breakdown_components_positive(self):
+        b = AreaModel(POINTACC_FULL).breakdown()
+        assert b.pe_array > 0 and b.sram > 0 and b.mpu_logic > 0
+        assert b.total > b.pe_array + b.sram  # includes overhead

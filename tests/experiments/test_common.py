@@ -1,0 +1,51 @@
+"""Tests for the experiment-runner shared helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    MESORASI_BENCHMARKS,
+    format_table,
+    geomean,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_scale_invariance(self):
+        xs = [1.5, 3.0, 7.0]
+        assert geomean([10 * x for x in xs]) == pytest.approx(10 * geomean(xs))
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:3])
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestBenchmarkLists:
+    def test_all_benchmarks_cover_table2(self):
+        assert len(ALL_BENCHMARKS) == 8
+
+    def test_mesorasi_subset(self):
+        assert set(MESORASI_BENCHMARKS) <= set(ALL_BENCHMARKS)
+        assert len(MESORASI_BENCHMARKS) == 4

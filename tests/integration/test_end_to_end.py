@@ -1,0 +1,108 @@
+"""Cross-module integration tests: full pipelines from raw cloud to report."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MESORASI_HW, get_platform
+from repro.core import PointAccModel, POINTACC_EDGE, POINTACC_FULL
+from repro.core.mpu import MappingUnit
+from repro.mapping import kernel_map_hash
+from repro.nn import SparseConv, Trace
+from repro.nn.models import mini_minkunet, run_benchmark
+from repro.pointcloud import generate_sample
+
+
+class TestLidarToSegmentation:
+    """Raw LiDAR scan -> voxelize -> MinkUNet -> PointAcc report."""
+
+    def test_full_pipeline(self):
+        cloud = generate_sample("semantickitti", seed=11, n_points=3000)
+        model = mini_minkunet(n_classes=19, seed=0)
+        tensor = model.prepare_input(cloud, 0.3)
+        trace = Trace(name="pipeline")
+        logits = model(tensor, trace)
+        trace.input_points = tensor.n
+        assert logits.shape == (tensor.n, 19)
+        rep = PointAccModel(POINTACC_FULL).run(trace)
+        assert rep.total_seconds > 0
+        assert rep.total_macs == trace.total_macs
+        # Every platform executes the same workload.
+        gpu = get_platform("RTX 2080Ti").run(trace)
+        assert gpu.total_macs == rep.total_macs
+
+
+class TestMPUIsBitExact:
+    """The MPU's maps drive a sparse conv to the same numerics as the
+    reference hash-based maps."""
+
+    def test_conv_outputs_identical(self, voxel_tensor):
+        conv = SparseConv(8, 16, 3, 1)
+        mpu = MappingUnit(POINTACC_FULL)
+        maps_hw, _ = mpu.kernel_map(
+            voxel_tensor.coords, voxel_tensor.coords, 3,
+            voxel_tensor.tensor_stride,
+        )
+        maps_ref = kernel_map_hash(
+            voxel_tensor.coords, voxel_tensor.coords, 3,
+            voxel_tensor.tensor_stride,
+        )
+        from repro.nn.sparse_conv import sparse_conv_apply
+
+        out_hw = sparse_conv_apply(
+            voxel_tensor.features, conv.weights, maps_hw, voxel_tensor.n
+        )
+        out_ref = sparse_conv_apply(
+            voxel_tensor.features, conv.weights, maps_ref, voxel_tensor.n
+        )
+        assert np.allclose(out_hw, out_ref)
+
+
+class TestCrossPlatformConsistency:
+    def test_same_trace_all_platforms(self):
+        trace, _ = run_benchmark("PointNet++(c)", scale=0.08, seed=4)
+        reports = {
+            "pa": PointAccModel(POINTACC_FULL).run(trace),
+            "edge": PointAccModel(POINTACC_EDGE).run(trace),
+            "gpu": get_platform("RTX 2080Ti").run(trace),
+            "meso": MESORASI_HW.run(trace),
+        }
+        # All positive, and the full config is the fastest accelerator.
+        for name, rep in reports.items():
+            assert rep.total_seconds > 0, name
+        assert reports["pa"].total_seconds < reports["edge"].total_seconds
+
+    def test_scaling_consistency(self):
+        """Twice the points: PointAcc latency grows, ratios stay sane."""
+        small, _ = run_benchmark("PointNet++(c)", scale=0.06, seed=4)
+        large, _ = run_benchmark("PointNet++(c)", scale=0.12, seed=4)
+        pa = PointAccModel(POINTACC_FULL)
+        t_small = pa.run(small).total_seconds
+        t_large = pa.run(large).total_seconds
+        assert t_large > t_small
+
+    def test_report_serializable_summary(self):
+        trace, _ = run_benchmark("PointNet", scale=0.08, seed=4)
+        summary = PointAccModel(POINTACC_FULL).run(trace).summary()
+        import json
+
+        encoded = json.dumps(summary)
+        assert "latency_ms" in encoded
+
+
+class TestFailureInjection:
+    def test_mesorasi_refuses_sparseconv_end_to_end(self):
+        from repro.baselines import UnsupportedModelError
+
+        trace, _ = run_benchmark("MinkNet(i)", scale=0.06, seed=4)
+        with pytest.raises(UnsupportedModelError):
+            MESORASI_HW.run(trace)
+
+    def test_corrupt_spec_rejected_at_construction(self):
+        from repro.nn.trace import LayerKind, LayerSpec
+
+        with pytest.raises(ValueError):
+            LayerSpec(name="bad", kind=LayerKind.DENSE_MM, n_in=-5,
+                      n_out=-5, c_in=0, c_out=0, rows=-5)
+        with pytest.raises(ValueError):
+            LayerSpec(name="bad", kind=LayerKind.SPARSE_CONV, n_in=5,
+                      n_out=5, c_in=4, c_out=4, rows=5, kernel_volume=0)

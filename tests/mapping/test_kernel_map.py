@@ -1,0 +1,135 @@
+"""Tests for the three kernel-mapping algorithms (paper Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping import (
+    kernel_map,
+    kernel_map_bruteforce,
+    kernel_map_hash,
+    kernel_map_mergesort,
+)
+from repro.pointcloud.coords import kernel_offsets
+
+
+@pytest.fixture
+def small_tensor(indoor_cloud):
+    return indoor_cloud.voxelize(0.2)
+
+
+class TestAgreement:
+    def test_submanifold_all_algorithms_agree(self, small_tensor):
+        coords = small_tensor.coords
+        ref = kernel_map_bruteforce(coords, coords, 3, 1)
+        for algo in (kernel_map_hash, kernel_map_mergesort):
+            assert algo(coords, coords, 3, 1).as_set() == ref.as_set()
+
+    def test_strided_all_algorithms_agree(self, small_tensor):
+        coords = small_tensor.coords
+        out = small_tensor.downsample(2).coords
+        ref = kernel_map_bruteforce(coords, out, 2, 1)
+        for algo in (kernel_map_hash, kernel_map_mergesort):
+            assert algo(coords, out, 2, 1).as_set() == ref.as_set()
+
+    def test_explicit_offsets_agree(self, small_tensor):
+        coords = small_tensor.coords
+        out = small_tensor.downsample(2).coords
+        offsets = -kernel_offsets(2, 3)  # transposed-conv relation
+        ref = kernel_map_bruteforce(out, coords, offsets=offsets)
+        got = kernel_map_mergesort(out, coords, offsets=offsets)
+        assert got.as_set() == ref.as_set()
+
+
+class TestSemantics:
+    def test_center_offset_yields_identity_maps(self, small_tensor):
+        coords = small_tensor.coords
+        maps = kernel_map_mergesort(coords, coords, 3, 1)
+        center_w = 13  # offset (0,0,0) in the 27-neighborhood
+        center = [
+            (i, o) for i, o, w in zip(
+                maps.in_idx, maps.out_idx, maps.weight_idx
+            ) if w == center_w
+        ]
+        assert len(center) == small_tensor.n
+        assert all(i == o for i, o in center)
+
+    def test_maps_satisfy_offset_relation(self, small_tensor):
+        coords = small_tensor.coords
+        out = small_tensor.downsample(2).coords
+        offsets = kernel_offsets(2, 3) * small_tensor.tensor_stride
+        maps = kernel_map_mergesort(coords, out, 2, 1)
+        for i, o, w in zip(maps.in_idx, maps.out_idx, maps.weight_idx):
+            assert np.array_equal(coords[i], out[o] + offsets[w])
+
+    def test_every_output_has_at_least_one_map_when_downsampling(
+        self, small_tensor
+    ):
+        out = small_tensor.downsample(2)
+        maps = kernel_map_mergesort(
+            small_tensor.coords, out.coords, 2, small_tensor.tensor_stride
+        )
+        covered = set(maps.out_idx.tolist())
+        # Every output voxel was created by quantizing at least one input.
+        assert covered == set(range(out.n))
+
+    def test_no_duplicate_maps(self, small_tensor):
+        coords = small_tensor.coords
+        maps = kernel_map_mergesort(coords, coords, 3, 1)
+        assert len(maps.as_set()) == maps.n_maps
+
+    def test_empty_output_cloud(self):
+        coords = np.array([[0, 0, 0], [1, 1, 1]])
+        maps = kernel_map_mergesort(coords, np.empty((0, 3), dtype=np.int64))
+        assert maps.n_maps == 0
+        assert maps.kernel_volume == 27
+
+    def test_disjoint_clouds_have_no_maps(self):
+        a = np.array([[0, 0, 0]])
+        b = np.array([[100, 100, 100]])
+        maps = kernel_map_mergesort(a, b, 3, 1)
+        assert maps.n_maps == 0
+
+    def test_stride_scales_offsets(self):
+        # Input at stride 2: neighbors are 2 apart, not 1.
+        coords = np.array([[0, 0, 0], [2, 0, 0]])
+        out = np.array([[0, 0, 0]])
+        maps = kernel_map_mergesort(coords, out, 3, tensor_stride=2)
+        assert (0, 0) in {(i, o) for i, o in zip(maps.in_idx, maps.out_idx)}
+        assert maps.n_maps == 2  # both inputs are in-reach at stride 2
+
+    def test_dispatcher(self, small_tensor):
+        coords = small_tensor.coords
+        got = kernel_map(coords, coords, algorithm="hash")
+        assert got.n_maps > 0
+        with pytest.raises(ValueError):
+            kernel_map(coords, coords, algorithm="quantum")
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kernel_map_mergesort(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_bad_offsets_shape_raises(self):
+        with pytest.raises(ValueError):
+            kernel_map_mergesort(
+                np.zeros((2, 3), dtype=int),
+                np.zeros((2, 3), dtype=int),
+                offsets=np.zeros((4, 2), dtype=int),
+            )
+
+
+class TestSubmanifoldProperty:
+    def test_outputs_never_dilate(self, small_tensor):
+        """Section 3: 'the nonzero points will never dilate' - submanifold
+        conv outputs sit exactly on the input cloud."""
+        coords = small_tensor.coords
+        maps = kernel_map_mergesort(coords, coords, 3, 1)
+        assert maps.out_idx.max() < small_tensor.n
+        assert maps.in_idx.max() < small_tensor.n
+
+    def test_map_count_bounded_by_kernel_volume(self, small_tensor):
+        coords = small_tensor.coords
+        maps = kernel_map_mergesort(coords, coords, 3, 1)
+        assert maps.n_maps <= 27 * small_tensor.n
+        per_out = maps.maps_per_output(small_tensor.n)
+        assert per_out.max() <= 27
+        assert per_out.min() >= 1  # center offset always hits

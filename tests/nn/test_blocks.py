@@ -1,0 +1,165 @@
+"""Tests for PointNet++ set abstraction / feature propagation and EdgeConv."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    EdgeConv,
+    FeaturePropagation,
+    GlobalSetAbstraction,
+    SetAbstraction,
+    SetAbstractionMSG,
+    Trace,
+    new_param_rng,
+)
+from repro.nn.trace import LayerKind
+
+
+class TestSetAbstraction:
+    def _sa(self, npoint=32, k=8, c_in=0):
+        return SetAbstraction(
+            npoint, 0.3, k, c_in, [16, 32], new_param_rng(0), name="sa"
+        )
+
+    def test_output_shapes(self, object_cloud):
+        sa = self._sa()
+        centers, feats = sa(object_cloud.points, None)
+        assert centers.shape == (32, 3)
+        assert feats.shape == (32, 32)
+
+    def test_centers_subset_of_input(self, object_cloud):
+        sa = self._sa()
+        centers, _ = sa(object_cloud.points, None)
+        pts_set = {tuple(p) for p in object_cloud.points.tolist()}
+        assert all(tuple(c) in pts_set for c in centers.tolist())
+
+    def test_trace_sequence(self, object_cloud):
+        sa = self._sa()
+        trace = Trace()
+        sa(object_cloud.points, None, trace)
+        kinds = [s.kind for s in trace.specs]
+        assert kinds[0] is LayerKind.MAP_FPS
+        assert kinds[1] is LayerKind.MAP_BALL
+        assert kinds[2] is LayerKind.GATHER
+        assert kinds[3] is LayerKind.DENSE_MM
+        assert kinds[-1] is LayerKind.POOL_MAX
+        mlp_specs = trace.by_kind(LayerKind.DENSE_MM)
+        assert all(s.rows == 32 * 8 for s in mlp_specs)
+
+    def test_with_input_features(self, object_cloud, rng):
+        sa = self._sa(c_in=5)
+        feats = rng.normal(size=(object_cloud.n, 5))
+        _, out = sa(object_cloud.points, feats)
+        assert out.shape == (32, 32)
+
+    def test_small_cloud_clamps_npoint(self, rng):
+        sa = self._sa(npoint=64)
+        pts = rng.random((20, 3))
+        centers, feats = sa(pts, None)
+        assert len(centers) == 20
+
+
+class TestSetAbstractionMSG:
+    def test_concatenates_scales(self, object_cloud):
+        msg = SetAbstractionMSG(
+            16,
+            [(0.2, 4, [8, 16]), (0.4, 8, [8, 32])],
+            0,
+            new_param_rng(0),
+        )
+        assert msg.c_out == 48
+        centers, feats = msg(object_cloud.points, None)
+        assert feats.shape == (16, 48)
+
+    def test_per_scale_mapping_specs(self, object_cloud):
+        msg = SetAbstractionMSG(
+            16, [(0.2, 4, [8]), (0.4, 8, [8])], 0, new_param_rng(0)
+        )
+        trace = Trace()
+        msg(object_cloud.points, None, trace)
+        balls = trace.by_kind(LayerKind.MAP_BALL)
+        assert len(balls) == 2
+        assert balls[0].kernel_volume == 4 and balls[1].kernel_volume == 8
+        # One FPS shared across scales.
+        assert len(trace.by_kind(LayerKind.MAP_FPS)) == 1
+
+    def test_requires_scales(self):
+        with pytest.raises(ValueError):
+            SetAbstractionMSG(16, [], 0, new_param_rng(0))
+
+
+class TestGlobalSA:
+    def test_single_vector_output(self, object_cloud):
+        g = GlobalSetAbstraction(0, [16, 32], new_param_rng(0))
+        out = g(object_cloud.points, None)
+        assert out.shape == (32,)
+
+    def test_records_global_pool(self, object_cloud):
+        g = GlobalSetAbstraction(0, [16], new_param_rng(0))
+        trace = Trace()
+        g(object_cloud.points, None, trace)
+        pools = trace.by_kind(LayerKind.GLOBAL_POOL)
+        assert len(pools) == 1 and pools[0].n_out == 1
+
+
+class TestFeaturePropagation:
+    def test_shapes_and_trace(self, rng):
+        fp = FeaturePropagation(16, 8, [32], new_param_rng(0))
+        tgt = rng.random((50, 3))
+        src = rng.random((10, 3))
+        src_feats = rng.normal(size=(10, 16))
+        tgt_feats = rng.normal(size=(50, 8))
+        trace = Trace()
+        out = fp(tgt, tgt_feats, src, src_feats, trace)
+        assert out.shape == (50, 32)
+        kinds = [s.kind for s in trace.specs]
+        assert LayerKind.MAP_KNN in kinds and LayerKind.INTERP in kinds
+
+    def test_without_skip(self, rng):
+        fp = FeaturePropagation(16, 0, [8], new_param_rng(0))
+        out = fp(rng.random((20, 3)), None, rng.random((5, 3)),
+                 rng.normal(size=(5, 16)))
+        assert out.shape == (20, 8)
+
+    def test_skip_width_validated(self, rng):
+        fp = FeaturePropagation(16, 8, [8], new_param_rng(0))
+        with pytest.raises(ValueError):
+            fp(rng.random((20, 3)), rng.normal(size=(20, 4)),
+               rng.random((5, 3)), rng.normal(size=(5, 16)))
+
+
+class TestEdgeConv:
+    def test_shapes(self, rng):
+        ec = EdgeConv(3, [16, 32], 8, new_param_rng(0))
+        out = ec(rng.random((40, 3)))
+        assert out.shape == (40, 32)
+
+    def test_knn_on_features_records_dim(self, rng):
+        ec = EdgeConv(6, [8], 4, new_param_rng(0))
+        trace = Trace()
+        ec(rng.random((30, 6)), trace)
+        knn = trace.by_kind(LayerKind.MAP_KNN)[0]
+        assert knn.params["feature_dim"] == 6  # dynamic graph in feature space
+        assert knn.n_maps == 30 * 4
+
+    def test_k_clamped_to_n(self, rng):
+        ec = EdgeConv(3, [8], 50, new_param_rng(0))
+        out = ec(rng.random((10, 3)))
+        assert out.shape == (10, 8)
+
+    def test_channel_check(self, rng):
+        ec = EdgeConv(3, [8], 4, new_param_rng(0))
+        with pytest.raises(ValueError):
+            ec(rng.random((10, 5)))
+
+    def test_edge_features_translation_sensitive_center(self, rng):
+        """EdgeConv input is concat(x_i, x_j - x_i): shifting all points
+        changes only the center part, not the relative part."""
+        pts = rng.random((20, 3))
+        ec = EdgeConv(3, [8], 4, new_param_rng(0))
+        base = ec(pts)
+        shifted = ec(pts + 100.0)
+        # Outputs differ (center features shifted) but are finite and same
+        # shape; the relative-geometry half keeps them correlated.
+        assert base.shape == shifted.shape
+        assert np.all(np.isfinite(shifted))

@@ -1,0 +1,79 @@
+"""Tests for the SPVCNN-lite extension model."""
+
+import numpy as np
+import pytest
+
+from repro.core import PointAccModel, POINTACC_FULL
+from repro.nn import Trace
+from repro.nn.models.spvcnn import SPVCNNLite
+from repro.nn.trace import LayerKind
+from repro.pointcloud import generate_sample
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return generate_sample("semantickitti", seed=9, n_points=2500)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SPVCNNLite(n_classes=19, seed=0)
+
+
+class TestSPVCNN:
+    def test_per_point_logits(self, scene, model):
+        out = model.run(scene, voxel_size=0.3)
+        assert out.shape == (scene.n, 19)
+        assert np.all(np.isfinite(out))
+
+    def test_point_to_voxel_consistency(self, scene, model):
+        tensor, inverse, point_feats = model.prepare_input(scene, 0.3)
+        assert len(inverse) == scene.n
+        assert inverse.max() < tensor.n
+        assert point_feats.shape == (scene.n, model.c_in)
+        # Points in the same voxel share initial features.
+        grid = np.floor(scene.points / 0.3).astype(np.int64)
+        same = (grid[0] == grid).all(axis=1)
+        assert np.allclose(point_feats[same], point_feats[0])
+
+    def test_trace_has_devoxelize_gathers(self, scene, model):
+        trace = Trace(name="spv")
+        model.run(scene, 0.3, trace)
+        gathers = [s for s in trace.by_kind(LayerKind.GATHER)
+                   if "devox" in s.name]
+        assert len(gathers) == 1 + len(model.channels)
+        for g in gathers:
+            assert g.n_maps == scene.n  # one map per raw point
+
+    def test_trace_has_voxelize_scatters(self, scene, model):
+        trace = Trace(name="spv")
+        model.run(scene, 0.3, trace)
+        scatters = trace.by_kind(LayerKind.SCATTER)
+        vox = [s for s in scatters if s.name.endswith(".vox")]
+        assert len(vox) == len(model.channels)
+
+    def test_runs_on_pointacc(self, scene, model):
+        trace = Trace(name="spv")
+        model.run(scene, 0.3, trace)
+        rep = PointAccModel(POINTACC_FULL).run(trace)
+        assert rep.total_seconds > 0
+        assert rep.total_macs == trace.total_macs
+
+    def test_point_branch_cheaper_than_voxel_branch(self, scene, model):
+        """The SPV idea: the point branch is pointwise (cheap) while the
+        voxel branch carries the neighborhood aggregation (27x maps)."""
+        trace = Trace(name="spv")
+        model.run(scene, 0.3, trace)
+        voxel_macs = sum(
+            s.macs for s in trace.by_kind(LayerKind.SPARSE_CONV)
+        )
+        point_macs = sum(
+            s.macs for s in trace.by_kind(LayerKind.DENSE_MM)
+            if ".point" in s.name
+        )
+        assert 0 < point_macs < voxel_macs
+
+    def test_deterministic(self, scene):
+        a = SPVCNNLite(seed=3).run(scene, 0.3)
+        b = SPVCNNLite(seed=3).run(scene, 0.3)
+        assert np.allclose(a, b)

@@ -1,0 +1,164 @@
+"""Unit tests for coordinate math (repro.pointcloud.coords)."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import coords as C
+
+
+class TestLexicographic:
+    def test_order_matches_python_sort(self, rng):
+        pts = rng.integers(-50, 50, size=(200, 3))
+        order = C.lexicographic_order(pts)
+        got = pts[order].tolist()
+        assert got == sorted(pts.tolist())
+
+    def test_sort_returns_sorted_rows(self, rng):
+        pts = rng.integers(-9, 9, size=(64, 2))
+        out = C.lexicographic_sort(pts)
+        assert out.tolist() == sorted(pts.tolist())
+
+    def test_first_axis_most_significant(self):
+        pts = np.array([[1, 0], [0, 99]])
+        out = C.lexicographic_sort(pts)
+        assert out[0].tolist() == [0, 99]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            C.lexicographic_order(np.arange(5))
+
+
+class TestKeys:
+    def test_roundtrip(self, rng):
+        pts = rng.integers(-1000, 1000, size=(100, 3))
+        keys = C.coords_to_keys(pts)
+        back = C.keys_to_coords(keys, 3)
+        assert np.array_equal(back, pts)
+
+    def test_keys_preserve_lexicographic_order(self, rng):
+        pts = rng.integers(-100, 100, size=(300, 3))
+        keys = C.coords_to_keys(pts)
+        by_key = pts[np.argsort(keys, kind="stable")]
+        assert by_key.tolist() == sorted(pts.tolist())
+
+    def test_unique_coords_unique_keys(self, rng):
+        pts = rng.integers(-20, 20, size=(500, 3))
+        unique, _ = C.unique_coords(pts)
+        keys = C.coords_to_keys(unique)
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            C.coords_to_keys(np.array([[2**21, 0, 0]]))
+
+    def test_2d_coords_supported(self):
+        pts = np.array([[3, 5], [2, 4], [3, 4]])
+        keys = C.coords_to_keys(pts)
+        assert np.array_equal(C.keys_to_coords(keys, 2), pts)
+
+
+class TestQuantize:
+    def test_paper_examples(self):
+        # Section 2.1.1: (3, 5) at ts=2 -> (2, 4); (4, 8) at ts=8 -> (0, 8).
+        assert C.quantize(np.array([[3, 5]]), 2).tolist() == [[2, 4]]
+        assert C.quantize(np.array([[4, 8]]), 8).tolist() == [[0, 8]]
+
+    def test_negative_coordinates_floor(self):
+        assert C.quantize(np.array([[-1, -2]]), 2).tolist() == [[-2, -2]]
+        assert C.quantize(np.array([[-3]]), 4).tolist() == [[-4]]
+
+    def test_identity_at_stride_one(self, rng):
+        pts = rng.integers(-50, 50, size=(40, 3))
+        assert np.array_equal(C.quantize(pts, 1), pts)
+
+    def test_is_idempotent(self, rng):
+        pts = rng.integers(-64, 64, size=(100, 3))
+        once = C.quantize(pts, 4)
+        assert np.array_equal(C.quantize(once, 4), once)
+
+    def test_equals_bit_clearing_for_power_of_two(self, rng):
+        # "implemented on hardware by clearing the lowest log2(ts) bits".
+        pts = rng.integers(0, 1024, size=(200, 3))
+        assert np.array_equal(C.quantize(pts, 8), pts & ~7)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            C.quantize(np.zeros((1, 3)), 0)
+
+    def test_quantize_unique_sorted_and_inverse(self, rng):
+        pts = rng.integers(-32, 32, size=(300, 3))
+        out, inverse = C.quantize_unique(pts, 4)
+        assert out.tolist() == sorted(out.tolist())
+        assert np.array_equal(out[inverse], C.quantize(pts, 4))
+
+
+class TestVoxelize:
+    def test_inverse_maps_points_to_voxels(self, rng):
+        pts = rng.random((200, 3)) * 4
+        voxels, inverse = C.voxelize(pts, 0.5)
+        expected = np.floor(pts / 0.5).astype(np.int64)
+        assert np.array_equal(voxels[inverse], expected)
+
+    def test_voxels_unique(self, rng):
+        pts = rng.random((500, 3))
+        voxels, _ = C.voxelize(pts, 0.25)
+        assert len(np.unique(C.coords_to_keys(voxels))) == len(voxels)
+
+    def test_invalid_voxel_size(self):
+        with pytest.raises(ValueError):
+            C.voxelize(np.zeros((1, 3)), 0.0)
+
+
+class TestKernelOffsets:
+    def test_k3_d3_is_27_neighborhood(self):
+        offs = C.kernel_offsets(3, 3)
+        assert offs.shape == (27, 3)
+        assert offs.min() == -1 and offs.max() == 1
+        assert [0, 0, 0] in offs.tolist()
+
+    def test_k2_covers_positive_octant(self):
+        offs = C.kernel_offsets(2, 3)
+        assert offs.shape == (8, 3)
+        assert offs.min() == 0 and offs.max() == 1
+
+    def test_k1_is_identity(self):
+        assert C.kernel_offsets(1, 3).tolist() == [[0, 0, 0]]
+
+    def test_offsets_lexicographically_ordered(self):
+        offs = C.kernel_offsets(3, 2)
+        assert offs.tolist() == sorted(offs.tolist())
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            C.kernel_offsets(0)
+
+
+class TestDistances:
+    def test_pairwise_against_naive(self, rng):
+        a = rng.random((20, 3))
+        b = rng.random((30, 3))
+        got = C.pairwise_squared_distance(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(got, naive)
+
+    def test_pairwise_non_negative(self, rng):
+        a = rng.random((50, 3)) * 1000  # stress float cancellation
+        got = C.pairwise_squared_distance(a, a)
+        assert np.all(got >= 0)
+
+    def test_distance_to_set(self, rng):
+        pts = rng.random((40, 3))
+        ref = rng.random((10, 3))
+        got = C.squared_distance_to_set(pts, ref)
+        naive = ((pts[:, None, :] - ref[None, :, :]) ** 2).sum(axis=2).min(axis=1)
+        assert np.allclose(got, naive)
+
+    def test_bounding_box(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0]])
+        lo, hi = C.bounding_box(pts)
+        assert lo.tolist() == [0.0, -1.0]
+        assert hi.tolist() == [2.0, 1.0]
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            C.bounding_box(np.empty((0, 3)))

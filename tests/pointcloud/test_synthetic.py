@@ -1,0 +1,112 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import synthetic as S
+from repro.pointcloud.datasets import DATASETS, generate_sample, get_dataset
+
+
+class TestPrimitives:
+    def test_box_points_on_surface(self, rng):
+        size = np.array([2.0, 3.0, 1.0])
+        center = np.array([1.0, -1.0, 0.5])
+        pts = S.sample_box_surface(500, size, center, rng)
+        rel = np.abs(pts - center) / (size / 2)
+        # Every point touches at least one face (max normalized coord == 1).
+        assert np.allclose(rel.max(axis=1), 1.0)
+        # And stays inside the box on the other axes.
+        assert np.all(rel <= 1.0 + 1e-9)
+
+    def test_sphere_points_on_surface(self, rng):
+        pts = S.sample_sphere_surface(300, 2.0, np.zeros(3), rng)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 2.0)
+
+    def test_cylinder_points_on_surface(self, rng):
+        pts = S.sample_cylinder_surface(400, 1.0, 2.0, np.zeros(3), rng)
+        r = np.linalg.norm(pts[:, :2], axis=1)
+        on_side = np.isclose(r, 1.0)
+        on_cap = np.isclose(np.abs(pts[:, 2]), 1.0)
+        assert np.all(on_side | on_cap)
+        assert np.all(np.abs(pts[:, 2]) <= 1.0 + 1e-9)
+        assert np.all(r <= 1.0 + 1e-9)
+
+
+class TestObjects:
+    def test_normalized_to_unit_sphere(self):
+        pts = S.make_object_cloud(512, seed=3)
+        assert len(pts) == 512
+        assert np.linalg.norm(pts, axis=1).max() <= 1.0 + 1e-9
+
+    def test_deterministic(self):
+        a = S.make_object_cloud(256, seed=5)
+        b = S.make_object_cloud(256, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = S.make_object_cloud(256, seed=1)
+        b = S.make_object_cloud(256, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestIndoor:
+    def test_extent_matches_room(self):
+        pts = S.make_indoor_scene(2000, room_size=(8.0, 6.0, 3.0), seed=0)
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        assert np.all(lo > -0.5) and hi[0] < 8.5 and hi[1] < 6.5 and hi[2] < 3.5
+
+    def test_point_count(self):
+        assert len(S.make_indoor_scene(1234, seed=1)) == 1234
+
+
+class TestLidar:
+    def test_returns_within_range(self):
+        pts = S.make_outdoor_scene(n_beams=16, n_azimuth=128, seed=0)
+        ranges = np.linalg.norm(pts, axis=1)
+        assert ranges.max() <= 81.0  # max_range + noise
+        assert len(pts) > 100
+
+    def test_ground_plane_visible(self):
+        pts = S.lidar_scan([], n_beams=32, n_azimuth=256, seed=0)
+        # With no obstacles, every return is a ground hit near z=-1.73.
+        assert len(pts) > 0
+        assert np.all(np.abs(pts[:, 2] + 1.73) < 0.25)
+
+    def test_obstacle_blocks_ground(self):
+        # A wall in front of the sensor produces closer returns.
+        wall = (np.array([5.0, -10.0, -1.73]), np.array([5.5, 10.0, 3.0]))
+        pts = S.lidar_scan([wall], n_beams=16, n_azimuth=64, seed=0)
+        forward = pts[(pts[:, 0] > 0) & (np.abs(pts[:, 1]) < 1.0)]
+        assert len(forward) > 0
+        assert forward[:, 0].min() < 6.0
+
+    def test_density_falls_with_range(self):
+        pts = S.make_outdoor_scene(n_beams=32, n_azimuth=512, seed=0)
+        ranges = np.linalg.norm(pts[:, :2], axis=1)
+        near = np.sum(ranges < 15)
+        far = np.sum((ranges > 30) & (ranges < 45))
+        assert near > far  # 1/r falloff of a spinning scanner
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_generate_sample(self, name):
+        cloud = generate_sample(name, seed=0, n_points=300)
+        assert cloud.n == 300
+        assert cloud.ndim == 3
+
+    def test_scale_controls_size(self):
+        small = generate_sample("modelnet40", seed=0, scale=0.25)
+        assert small.n == int(1024 * 0.25)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("imagenet")
+
+    def test_outdoor_density_below_indoor(self):
+        from repro.analysis.density import dataset_density
+
+        outdoor = dataset_density("semantickitti", scale=0.2)
+        indoor = dataset_density("s3dis", scale=0.2)
+        assert outdoor.density < indoor.density

@@ -1,0 +1,130 @@
+"""Hypothesis property tests on the hardware cost models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PointAccModel, POINTACC_EDGE, POINTACC_FULL
+from repro.core.mxu import MatrixUnit
+from repro.nn.trace import LayerKind, LayerSpec, Trace
+
+
+def _dense(rows, c_in, c_out):
+    return LayerSpec(
+        name="d", kind=LayerKind.DENSE_MM, n_in=rows, n_out=rows,
+        c_in=c_in, c_out=c_out, rows=rows, fusible=True,
+    )
+
+
+def _sparse(n, c_in, c_out, maps_per_point, kv=27):
+    n_maps = n * maps_per_point
+    return LayerSpec(
+        name="s", kind=LayerKind.SPARSE_CONV, n_in=n, n_out=n,
+        c_in=c_in, c_out=c_out, rows=n_maps, n_maps=n_maps,
+        kernel_volume=kv,
+    )
+
+
+channels = st.sampled_from([1, 4, 16, 64, 200])
+rows = st.integers(1, 20_000)
+
+
+@given(rows=rows, c_in=channels, c_out=channels)
+@settings(max_examples=60, deadline=None)
+def test_mxu_utilization_bounded(rows, c_in, c_out):
+    mxu = MatrixUnit(64, 64)
+    stats = mxu.dense_mm(rows, c_in, c_out)
+    assert stats.cycles > 0
+    # The array can never exceed one MAC per PE per cycle.
+    assert stats.macs <= stats.cycles * 64 * 64
+
+
+@given(rows=rows, c_in=channels, c_out=channels)
+@settings(max_examples=40, deadline=None)
+def test_mxu_cycles_monotone_in_rows(rows, c_in, c_out):
+    mxu = MatrixUnit(16, 16)
+    a = mxu.dense_mm(rows, c_in, c_out).cycles
+    b = mxu.dense_mm(rows + 100, c_in, c_out).cycles
+    assert b > a
+
+
+@given(
+    n=st.integers(10, 3000),
+    c=st.sampled_from([8, 32, 64]),
+    maps_per_point=st.integers(1, 27),
+)
+@settings(max_examples=40, deadline=None)
+def test_accelerator_invariants_on_sparse_conv(n, c, maps_per_point):
+    trace = Trace(name="prop")
+    trace.record(_sparse(n, c, c, maps_per_point))
+    model = PointAccModel(POINTACC_FULL)
+    rep = model.run(trace)
+    assert rep.total_seconds > 0
+    assert rep.energy_joules > 0
+    assert rep.total_macs == trace.total_macs
+    # Latency is at least the compute floor of the systolic array.
+    floor = trace.total_macs / (64 * 64) / 1e9
+    assert rep.total_seconds >= floor * 0.99
+
+
+@given(
+    n=st.integers(64, 4000),
+    widths=st.lists(st.sampled_from([8, 16, 64, 128]), min_size=2,
+                    max_size=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_fusion_never_hurts(n, widths):
+    trace = Trace(name="prop")
+    for i in range(len(widths) - 1):
+        trace.record(_dense(n, widths[i], widths[i + 1]))
+    model = PointAccModel(POINTACC_FULL)
+    fused = model.run(trace, fusion=True)
+    unfused = model.run(trace, fusion=False)
+    assert fused.dram_bytes <= unfused.dram_bytes * 1.001
+    assert fused.total_macs == unfused.total_macs
+
+
+@given(n=st.integers(100, 5000), c=st.sampled_from([64, 128, 256]))
+@settings(max_examples=30, deadline=None)
+def test_edge_never_faster_than_full_on_wide_layers(n, c):
+    """For layers at least as wide as the edge array, the full config's
+    16x channel parallelism wins (the MXU parallelizes across channels,
+    not points — Section 4.3)."""
+    trace = Trace(name="prop")
+    trace.record(_sparse(n, c, c, 8))
+    trace.record(_dense(n, c, c))
+    full = PointAccModel(POINTACC_FULL).run(trace)
+    edge = PointAccModel(POINTACC_EDGE).run(trace)
+    assert edge.total_seconds >= full.total_seconds
+
+
+def test_narrow_layers_do_not_benefit_from_bigger_array():
+    """Found by hypothesis, kept as a documented behaviour: with c <= 16
+    both arrays stream one row per cycle (channel parallelism is the only
+    parallelism — Section 4.3), so the 64x64 array only adds fill/drain
+    latency on narrow layers."""
+    trace = Trace(name="narrow")
+    trace.record(_sparse(100, 16, 16, 8))
+    full = PointAccModel(POINTACC_FULL).run(trace)
+    edge = PointAccModel(POINTACC_EDGE).run(trace)
+    assert edge.total_seconds < full.total_seconds
+
+
+@given(
+    n=st.integers(100, 3000),
+    kind=st.sampled_from([
+        LayerKind.MAP_FPS, LayerKind.MAP_KNN, LayerKind.MAP_KERNEL,
+        LayerKind.MAP_QUANT,
+    ]),
+)
+@settings(max_examples=40, deadline=None)
+def test_mapping_costs_scale_with_cloud(n, kind):
+    def mapping_spec(points):
+        return LayerSpec(
+            name="m", kind=kind, n_in=points, n_out=max(points // 4, 1),
+            rows=points, n_maps=points * 2, kernel_volume=8,
+        )
+
+    model = PointAccModel(POINTACC_FULL)
+    small = model._mapping_stats(mapping_spec(n))
+    large = model._mapping_stats(mapping_spec(n * 4))
+    assert large.cycles >= small.cycles

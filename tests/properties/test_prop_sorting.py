@@ -1,0 +1,76 @@
+"""Hypothesis property tests for the MPU sorting machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mpu import (
+    ComparatorArray,
+    StreamingMerger,
+    bitonic_sort_network,
+    mpu_sort,
+    mpu_topk,
+    sort_cycles,
+    streaming_merge_cycles,
+    topk_cycles,
+)
+
+key_lists = st.lists(st.integers(min_value=-(2**40), max_value=2**40),
+                     min_size=0, max_size=120)
+widths = st.sampled_from([4, 8, 16, 32, 64])
+
+
+@given(keys=st.lists(st.integers(-1000, 1000), min_size=2, max_size=64),
+       pad=st.sampled_from([2, 4, 8, 16, 64]))
+@settings(max_examples=60, deadline=None)
+def test_bitonic_sort_equals_numpy(keys, pad):
+    if pad < len(keys):
+        pad = 1 << int(np.ceil(np.log2(len(keys))))
+    arr = ComparatorArray.from_keys(np.array(keys, dtype=np.int64)).pad_to(
+        max(pad, 2)
+    )
+    bitonic_sort_network(arr)
+    valid = arr.valid()
+    assert valid.keys.tolist() == sorted(keys)
+
+
+@given(a=key_lists, b=key_lists, width=widths)
+@settings(max_examples=80, deadline=None)
+def test_streaming_merge_is_sorted_merge(a, b, width):
+    a = np.sort(np.array(a, dtype=np.int64))
+    b = np.sort(np.array(b, dtype=np.int64))
+    merger = StreamingMerger(width)
+    merged, stats = merger.merge(
+        ComparatorArray(a.copy(), np.arange(len(a))),
+        ComparatorArray(b.copy(), np.arange(len(b)) + 10_000),
+    )
+    assert merged.keys.tolist() == sorted(a.tolist() + b.tolist())
+    assert stats.cycles == streaming_merge_cycles(len(a), len(b), width)
+    # Payload conservation: nothing duplicated, nothing lost.
+    expect = list(range(len(a))) + [10_000 + i for i in range(len(b))]
+    assert sorted(merged.payloads.tolist()) == sorted(expect)
+
+
+@given(keys=key_lists, width=widths)
+@settings(max_examples=60, deadline=None)
+def test_mpu_sort_equals_numpy(keys, width):
+    keys = np.array(keys, dtype=np.int64)
+    out, stats = mpu_sort(ComparatorArray.from_keys(keys), width)
+    assert out.keys.tolist() == sorted(keys.tolist())
+    assert stats.cycles == sort_cycles(len(keys), width)
+
+
+@given(keys=st.lists(st.integers(-10_000, 10_000), min_size=1, max_size=150),
+       k=st.integers(1, 40), width=widths)
+@settings(max_examples=60, deadline=None)
+def test_mpu_topk_is_sorted_prefix(keys, k, width):
+    keys = np.array(keys, dtype=np.int64)
+    out, stats = mpu_topk(ComparatorArray.from_keys(keys), k, width)
+    assert out.keys.tolist() == sorted(keys.tolist())[: min(k, len(keys))]
+    assert stats.cycles == topk_cycles(len(keys), k, width)
+    assert stats.cycles <= sort_cycles(len(keys), width)
+
+
+@given(n=st.integers(0, 10_000), k=st.integers(1, 128))
+@settings(max_examples=60, deadline=None)
+def test_topk_cycles_monotone_in_k(n, k):
+    assert topk_cycles(n, k, 64) <= topk_cycles(n, k + 16, 64)

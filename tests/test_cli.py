@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "PointNet"])
+        assert args.machine == "pointacc"
+        assert args.scale == 0.25
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "AlexNet"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "PointNet++(c)" in out
+        assert "fig13" in out
+        assert "RTX 2080Ti" in out
+
+    def test_run_pointacc(self, capsys):
+        assert main(["run", "PointNet++(c)", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "PointAcc" in out
+
+    def test_run_with_layers(self, capsys):
+        assert main(["run", "PointNet", "--scale", "0.08", "--layers"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer records" in out
+
+    def test_run_on_platform(self, capsys):
+        code = main(["run", "PointNet", "--machine", "Jetson Nano",
+                     "--scale", "0.08"])
+        assert code == 0
+        assert "Jetson Nano" in capsys.readouterr().out
+
+    def test_run_mesorasi_rejects_sparseconv(self, capsys):
+        code = main(["run", "MinkNet(i)", "--machine", "mesorasi",
+                     "--scale", "0.06"])
+        assert code == 2
+        assert "delayed aggregation" in capsys.readouterr().err
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "tab03"]) == 0
+        assert "PointAcc" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_compare(self, capsys):
+        assert main(["compare", "PointNet", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "PointNet++(c)", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "GMACs" in out and "map_fps" in out

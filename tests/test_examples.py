@@ -1,0 +1,65 @@
+"""Every example script must run end to end (small inputs via argv/env)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_exist():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "PointAcc" in out and "speedup" in out
+
+
+def test_lidar_segmentation(capsys):
+    run_example("lidar_segmentation.py", ["--points", "2500"])
+    out = capsys.readouterr().out
+    assert "voxels segmented" in out
+    assert "PointAcc vs GPU" in out
+
+
+def test_edge_deployment(capsys):
+    run_example("edge_deployment.py")
+    out = capsys.readouterr().out
+    assert "PointAcc.Edge" in out
+    assert "Mini-MinkowskiUNet" in out
+
+
+def test_mapping_unit_walkthrough(capsys):
+    run_example("mapping_unit_walkthrough.py")
+    out = capsys.readouterr().out
+    assert "2 maps" in out  # the Fig. 9 example reproduces exactly
+    assert "hash engine" in out
+
+
+def test_streaming_inference(capsys):
+    run_example("streaming_inference.py", ["--frames", "2", "--points", "1500"])
+    out = capsys.readouterr().out
+    assert "sustained" in out and "FPS" in out
+
+
+def test_memory_system_demo(capsys):
+    run_example("memory_system_demo.py")
+    out = capsys.readouterr().out
+    assert "miss rate" in out
+    assert "fusion saving" in out or "fused groups" in out
