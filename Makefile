@@ -1,0 +1,38 @@
+# Developer entry points for the PointAcc reproduction.
+#
+#   make test         - the tier-1 suite (everything under tests/ + benchmarks/)
+#   make test-fast    - tests/ only, skipping the full-scale benchmark harness
+#   make bench        - regenerate every paper table/figure at full scale and
+#                       rewrite benchmarks/_results/ (the golden files; the
+#                       only target that sets REPRO_BENCH_ARCHIVE=1)
+#   make bench-smoke  - fast benchmark smoke at reduced scale (prints tables,
+#                       never overwrites the goldens - see benchmarks/conftest.py)
+#   make engine-bench - the engine throughput comparison from the CLI
+
+PYTHON      ?= python
+PYTHONPATH  := src
+SMOKE_SCALE ?= 0.1
+
+export PYTHONPATH
+
+.PHONY: test test-fast bench bench-smoke engine-bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest tests -x -q
+
+bench:
+	REPRO_BENCH_ARCHIVE=1 $(PYTHON) -m pytest benchmarks -q
+
+bench-smoke:
+	REPRO_BENCH_SCALE=$(SMOKE_SCALE) $(PYTHON) -m pytest \
+		benchmarks/test_engine_throughput.py \
+		benchmarks/test_tab03_asic.py \
+		benchmarks/test_abl_topk.py \
+		benchmarks/test_abl_dram_timing.py \
+		-q
+
+engine-bench:
+	$(PYTHON) -m repro bench-engine

@@ -30,14 +30,26 @@ def seed():
     return SEED
 
 
+#: Archived tables double as golden files for
+#: tests/experiments/test_golden_figures.py, so regenerating them must be a
+#: deliberate act (`make bench` sets REPRO_BENCH_ARCHIVE=1) at the golden
+#: settings — otherwise an ordinary `pytest`/`make test` run would rewrite
+#: the goldens moments before the regression test compares against them,
+#: and drift could never be caught.  Non-archiving runs still print.
+ARCHIVING = (
+    os.environ.get("REPRO_BENCH_ARCHIVE") == "1" and SCALE == 1.0 and SEED == 1
+)
+
+
 @pytest.fixture(scope="session")
 def archive():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _archive(result):
         table = result.table()
-        path = RESULTS_DIR / f"{result.experiment_id}.txt"
-        path.write_text(table + "\n")
+        if ARCHIVING:
+            path = RESULTS_DIR / f"{result.experiment_id}.txt"
+            path.write_text(table + "\n")
         print("\n" + table)
         return table
 

@@ -12,7 +12,9 @@ Python/numpy:
 * analytical models of every baseline platform in the evaluation
   (``repro.baselines``),
 * experiment runners regenerating every table and figure
-  (``repro.experiments``).
+  (``repro.experiments``),
+* a batched simulation engine serving request streams through shared
+  backends with content-addressed map caching (``repro.engine``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -28,4 +30,5 @@ __all__ = [
     "baselines",
     "analysis",
     "experiments",
+    "engine",
 ]

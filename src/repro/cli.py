@@ -2,42 +2,38 @@
 
 Commands:
 
-* ``list``        — enumerate benchmarks, platforms and experiments;
-* ``run``         — execute one benchmark on one platform, print the report;
-* ``experiment``  — regenerate one (or all) paper tables/figures;
-* ``compare``     — PointAcc vs every platform on one benchmark;
-* ``inspect``     — dump a benchmark's layer trace.
+* ``list``         — enumerate benchmarks, platforms and experiments;
+* ``run``          — execute one benchmark on one platform, print the report;
+* ``experiment``   — regenerate one (or all) paper tables/figures;
+* ``compare``      — PointAcc vs every platform on one benchmark;
+* ``inspect``      — dump a benchmark's layer trace;
+* ``serve-sim``    — stream a synthetic request workload through the
+                     batched simulation engine;
+* ``bench-engine`` — engine (cached) vs cold sequential throughput.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from .baselines.mesorasi import MESORASI_HW, UnsupportedModelError
-from .baselines.registry import EDGE_PLATFORMS, SERVER_PLATFORMS, get_platform
-from .core import PointAccModel, POINTACC_EDGE, POINTACC_FULL
+from .baselines.mesorasi import UnsupportedModelError
+from .core import PointAccModel, POINTACC_FULL
+from .engine import (
+    ACCELERATORS,
+    POLICIES,
+    SimRequest,
+    SimulationEngine,
+    backend_names,
+    resolve_backend,
+    run_cold,
+)
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import format_table
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
 
 __all__ = ["main"]
-
-_ACCELERATORS = {
-    "pointacc": lambda: PointAccModel(POINTACC_FULL),
-    "pointacc-edge": lambda: PointAccModel(POINTACC_EDGE),
-    "mesorasi": lambda: MESORASI_HW,
-}
-
-
-def _platform_names() -> list[str]:
-    return [s.name for s in (*SERVER_PLATFORMS, *EDGE_PLATFORMS)]
-
-
-def _resolve_machine(name: str):
-    if name.lower() in _ACCELERATORS:
-        return _ACCELERATORS[name.lower()]()
-    return get_platform(name)
 
 
 def cmd_list(_args) -> int:
@@ -47,9 +43,7 @@ def cmd_list(_args) -> int:
     print(f"  {MINI_MINKUNET.notation:18s} "
           f"{MINI_MINKUNET.application:18s} {MINI_MINKUNET.dataset}")
     print("\nmachines:")
-    for name in _ACCELERATORS:
-        print(f"  {name}")
-    for name in _platform_names():
+    for name in backend_names():
         print(f"  {name}")
     print("\nexperiments:")
     for exp_id, module in ALL_EXPERIMENTS.items():
@@ -74,7 +68,7 @@ def _print_report(report) -> None:
 
 def cmd_run(args) -> int:
     trace = build_trace(args.benchmark, scale=args.scale, seed=args.seed)
-    machine = _resolve_machine(args.machine)
+    machine = resolve_backend(args.machine)
     try:
         report = machine.run(trace)
     except UnsupportedModelError as exc:
@@ -115,8 +109,9 @@ def cmd_compare(args) -> int:
         "PointAcc", f"{base.total_seconds * 1e3:.3f}",
         f"{base.energy_joules * 1e3:.3f}", "1.0x", "1.0x",
     ]]
-    for name in _platform_names():
-        rep = get_platform(name).run(trace)
+    platforms = [n for n in backend_names() if n not in ACCELERATORS]
+    for name in platforms:
+        rep = resolve_backend(name).run(trace)
         rows.append([
             name,
             f"{rep.total_seconds * 1e3:.3f}",
@@ -148,6 +143,119 @@ def cmd_inspect(args) -> int:
         rows,
     ))
     return 0
+
+
+def _parse_benchmarks(arg: str) -> list[str]:
+    known = {*BENCHMARKS, MINI_MINKUNET.notation}
+    names = [b.strip() for b in arg.split(",") if b.strip()]
+    unknown = [b for b in names if b not in known]
+    if unknown:
+        raise SystemExit(f"error: unknown benchmark(s) {unknown}; known: {sorted(known)}")
+    return names
+
+
+def cmd_serve_sim(args) -> int:
+    """Simulate serving: a synthetic request stream through the engine.
+
+    Seeds cycle over a pool of ``--seed-pool`` distinct clouds, so the
+    stream contains the repeated geometry real traffic has and the caches
+    have something to earn.
+    """
+    if args.seed_pool < 1:
+        print(f"error: --seed-pool must be >= 1, got {args.seed_pool}",
+              file=sys.stderr)
+        return 2
+    if args.window < 1:
+        print(f"error: --window must be >= 1, got {args.window}", file=sys.stderr)
+        return 2
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    # Validate with the same resolution the engine uses (accelerator names
+    # are case-insensitive, platform names exact).
+    unknown = []
+    for b in backends:
+        try:
+            resolve_backend(b)
+        except KeyError:
+            unknown.append(b)
+    if unknown:
+        print(f"error: unknown backend(s) {unknown}; "
+              f"known: {backend_names()}", file=sys.stderr)
+        return 2
+    engine = SimulationEngine(backends=backends, policy=args.policy)
+    requests = (
+        SimRequest(
+            benchmark=benchmarks[i % len(benchmarks)],
+            scale=args.scale,
+            seed=i % args.seed_pool,
+            priority=i % 3,
+            tag=f"req{i}",
+        )
+        for i in range(args.requests)
+    )
+    first = backends[0]
+    print(f"{'req':>5s} {'benchmark':16s} {'points':>7s} "
+          f"{first + ' ms':>12s} {'trace':>6s} {'wall ms':>8s}")
+    for result in engine.stream(requests, window=args.window):
+        rep = result.reports.get(first)
+        modeled = f"{rep.total_seconds * 1e3:12.3f}" if rep else " unsupported"
+        n_pts = result.trace.input_points if result.trace else 0
+        print(f"{result.request.tag:>5s} {result.request.benchmark:16s} "
+              f"{n_pts:7d} {modeled} "
+              f"{'reuse' if result.trace_reused else 'build':>6s} "
+              f"{result.wall_seconds * 1e3:8.2f}")
+    stats = engine.stats()
+    cache = stats.map_cache or {}
+    print(f"\nserved {stats.requests} requests in {stats.wall_seconds:.3f}s "
+          f"({stats.throughput_rps:.1f} req/s, policy={args.policy})")
+    print(f"traces: {stats.trace_builds} built, {stats.trace_reuses} reused; "
+          f"map cache: {cache.get('hits', 0)} hits / "
+          f"{cache.get('misses', 0)} misses")
+    for name in backends:
+        print(f"modeled {name}: {stats.backend_seconds[name] * 1e3:.3f} ms total")
+    return 0
+
+
+def cmd_bench_engine(args) -> int:
+    """Throughput comparison: engine with caches vs cold sequential runs."""
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    requests = [
+        SimRequest(benchmark=b, scale=args.scale, seed=s)
+        for s in range(args.seeds)
+        for b in benchmarks
+        for _ in range(args.repeats)
+    ]
+    t0 = time.perf_counter()
+    cold = [run_cold(r, backends=("pointacc",)) for r in requests]
+    cold_s = time.perf_counter() - t0
+
+    engine = SimulationEngine(backends=("pointacc",), policy=args.policy)
+    t0 = time.perf_counter()
+    results = engine.run_batch(requests)
+    engine_s = time.perf_counter() - t0
+
+    mismatch = sum(
+        c.reports["pointacc"] != r.reports["pointacc"]
+        for c, r in zip(cold, results)
+    )
+    stats = engine.stats()
+    cache = stats.map_cache or {}
+    n = len(requests)
+    rows = [
+        ["cold sequential", f"{cold_s:.3f}", f"{n / cold_s:.1f}", "-", "-"],
+        [f"engine ({args.policy})", f"{engine_s:.3f}", f"{n / engine_s:.1f}",
+         f"{stats.trace_reuses}/{n}",
+         f"{cache.get('hits', 0)}/{cache.get('lookups', 0)}"],
+    ]
+    print(format_table(
+        ["mode", "wall s", "req/s", "trace reuse", "map-cache hits"],
+        rows,
+        title=f"{n} requests: {','.join(benchmarks)} x {args.repeats} repeats "
+              f"x {args.seeds} seeds @ scale {args.scale}",
+    ))
+    print(f"\nspeedup: {cold_s / engine_s:.2f}x  "
+          f"(reports bit-identical: {'yes' if mismatch == 0 else f'NO, {mismatch} differ'})")
+    return 0 if mismatch == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
     ins_p.add_argument("--scale", type=float, default=0.1)
     ins_p.add_argument("--seed", type=int, default=0)
 
+    srv_p = sub.add_parser(
+        "serve-sim", help="stream a synthetic workload through the engine"
+    )
+    srv_p.add_argument("--requests", type=int, default=12)
+    srv_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
+    srv_p.add_argument("--backends", default="pointacc")
+    srv_p.add_argument("--scale", type=float, default=0.25)
+    srv_p.add_argument("--seed-pool", type=int, default=3,
+                       help="distinct clouds in the stream (repeats feed caches)")
+    srv_p.add_argument("--policy", choices=POLICIES, default="bucketed")
+    srv_p.add_argument("--window", type=int, default=8,
+                       help="streaming scheduling window")
+
+    be_p = sub.add_parser(
+        "bench-engine", help="engine (cached) vs cold sequential throughput"
+    )
+    be_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
+    be_p.add_argument("--repeats", type=int, default=3,
+                      help="times each (benchmark, seed) cloud repeats")
+    be_p.add_argument("--seeds", type=int, default=2)
+    be_p.add_argument("--scale", type=float, default=0.25)
+    be_p.add_argument("--policy", choices=POLICIES, default="bucketed")
+
     return parser
 
 
@@ -193,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "compare": cmd_compare,
         "inspect": cmd_inspect,
+        "serve-sim": cmd_serve_sim,
+        "bench-engine": cmd_bench_engine,
     }
     return handlers[args.command](args)
 

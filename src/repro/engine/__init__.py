@@ -1,0 +1,28 @@
+"""Batched simulation engine with kernel-map caching.
+
+Serves streams of point-cloud simulation requests through shared hardware
+models, memoizing mapping results (content-addressed :class:`MapCache`) and
+whole request workloads across the batch.  See ``README.md`` ("Simulation
+engine") for the architecture sketch and cache-key semantics.
+"""
+
+from .backends import ACCELERATORS, backend_names, resolve_backend
+from .engine import EngineStats, SimRequest, SimResult, SimulationEngine, run_cold
+from .map_cache import MapCache, MapCacheStats
+from .scheduler import POLICIES, estimate_points, schedule
+
+__all__ = [
+    "ACCELERATORS",
+    "EngineStats",
+    "MapCache",
+    "MapCacheStats",
+    "POLICIES",
+    "SimRequest",
+    "SimResult",
+    "SimulationEngine",
+    "backend_names",
+    "estimate_points",
+    "resolve_backend",
+    "run_cold",
+    "schedule",
+]

@@ -1,0 +1,39 @@
+"""Backend registry: every machine model a trace can be scheduled onto.
+
+One shared resolution path for the CLI and the simulation engine.  A backend
+is anything with ``run(trace) -> PerfReport``: the PointAcc configurations,
+the Mesorasi accelerator, and the general-purpose platform models
+(CPU/GPU/TPU, Jetson-class edge SoCs).
+"""
+
+from __future__ import annotations
+
+from ..baselines.mesorasi import MESORASI_HW
+from ..baselines.registry import EDGE_PLATFORMS, SERVER_PLATFORMS, get_platform
+from ..core import POINTACC_EDGE, POINTACC_FULL, PointAccModel
+
+__all__ = ["ACCELERATORS", "backend_names", "resolve_backend"]
+
+# Accelerator backends are constructed on demand by these factories;
+# platform backends are built per call by get_platform from the catalog
+# specs.  All are stateless cost models, so fresh instances are equivalent.
+ACCELERATORS = {
+    "pointacc": lambda: PointAccModel(POINTACC_FULL),
+    "pointacc-edge": lambda: PointAccModel(POINTACC_EDGE),
+    "mesorasi": lambda: MESORASI_HW,
+}
+
+
+def backend_names() -> list[str]:
+    """Every resolvable backend name, accelerators first."""
+    return [
+        *ACCELERATORS,
+        *(s.name for s in (*SERVER_PLATFORMS, *EDGE_PLATFORMS)),
+    ]
+
+
+def resolve_backend(name: str):
+    """Resolve a backend by name (case-insensitive for the accelerators)."""
+    if name.lower() in ACCELERATORS:
+        return ACCELERATORS[name.lower()]()
+    return get_platform(name)

@@ -1,0 +1,168 @@
+"""Content-addressed memoization of mapping results.
+
+PointAcc's MMU keeps neighbor maps and kernel maps resident so repeated
+geometry never pays the mapping pipeline twice (paper Section 4.2); Mesorasi
+amortizes the same work by restructuring the network.  :class:`MapCache` is
+the host-simulation analogue: a bounded LRU keyed on the *content* of the
+coordinate arrays plus the op parameters, shared across layers, models and
+requests by the simulation engine.
+
+Keys are BLAKE2b digests over the raw bytes of every input array (dtype and
+shape included) plus a canonical rendering of the scalar parameters, so two
+requests that present the same geometry — same cloud object or a fresh copy
+with equal values — hit the same entry, while any numeric difference misses.
+
+Cached values are never handed out by reference: hits return a deep copy of
+the stored arrays (`owned arrays`), so a caller mutating its result can
+never corrupt later hits.  This mirrors the contract the reference mapping
+ops themselves guarantee (see ``tests/mapping/test_boundaries.py``).
+Hit/miss bookkeeping is observable through :class:`MapCacheStats`; a hit
+must never change a simulation *result*, only its wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mapping.maps import MapTable
+
+__all__ = ["MapCache", "MapCacheStats"]
+
+
+def _copy_value(value):
+    """Deep-copy a cacheable value (ndarray, MapTable, or tuple of them)."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, MapTable):
+        return MapTable(
+            value.in_idx.copy(),
+            value.out_idx.copy(),
+            value.weight_idx.copy(),
+            value.kernel_volume,
+        )
+    if isinstance(value, tuple):
+        return tuple(_copy_value(v) for v in value)
+    raise TypeError(f"uncacheable mapping result type: {type(value).__name__}")
+
+
+def _value_bytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, MapTable):
+        return value.in_idx.nbytes + value.out_idx.nbytes + value.weight_idx.nbytes
+    if isinstance(value, tuple):
+        return sum(_value_bytes(v) for v in value)
+    return 0
+
+
+@dataclass
+class MapCacheStats:
+    """Observable cache behaviour; aggregated and per-op."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stored_bytes: int = 0
+    by_op: dict = field(default_factory=dict)  # op -> {"hits": int, "misses": int}
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def _count(self, op: str, hit: bool) -> None:
+        slot = self.by_op.setdefault(op, {"hits": 0, "misses": 0})
+        slot["hits" if hit else "misses"] += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "stored_mb": self.stored_bytes / 1e6,
+            "by_op": {op: dict(c) for op, c in self.by_op.items()},
+        }
+
+
+class MapCache:
+    """Bounded content-addressed LRU for mapping results.
+
+    ``max_entries`` bounds the entry count; ``max_bytes`` bounds the resident
+    array payload (least-recently-used entries are dropped first on either
+    limit).  Install with :func:`repro.mapping.use_map_cache` to make every
+    FPS / kNN / ball-query / kernel-map call inside the block consult it.
+    """
+
+    def __init__(self, max_entries: int = 4096, max_bytes: int = 256 * 1024 * 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = MapCacheStats()
+        self._entries: OrderedDict[bytes, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(op: str, arrays, params: dict) -> bytes:
+        """Content digest of one mapping call."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(op.encode())
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        for name in sorted(params):
+            h.update(name.encode())
+            h.update(repr(params[name]).encode())
+        return h.digest()
+
+    def memoize(self, op: str, arrays, params: dict, compute):
+        """Return the cached result of ``compute()`` for this content key.
+
+        On a hit the stored value is returned as a fresh deep copy; on a miss
+        ``compute()`` runs and a private copy of its result is stored, so
+        neither the caller's result nor the cache entry can alias the other.
+        """
+        key = self.key(op, arrays, params)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats._count(op, hit=True)
+            return _copy_value(entry)
+        self.stats._count(op, hit=False)
+        value = compute()
+        stored = _copy_value(value)
+        self._entries[key] = stored
+        self.stats.stored_bytes += _value_bytes(stored)
+        self._evict()
+        return value
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.stats.stored_bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            _, dropped = self._entries.popitem(last=False)
+            self.stats.stored_bytes -= _value_bytes(dropped)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.stored_bytes = 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..pointcloud.coords import pairwise_squared_distance
+from . import hooks
 from .maps import MapTable
 
 __all__ = ["ball_query_indices", "ball_query_maps"]
@@ -28,6 +29,9 @@ def ball_query_indices(
     Neighbors are taken in increasing-distance order (stable).  A query with
     no in-radius neighbor falls back to its nearest reference (the reference
     implementation's behaviour), so groups are never empty.
+
+    Never mutates either input; the returned array is freshly owned by the
+    caller (also on a map-cache hit).
     """
     queries = np.asarray(queries, dtype=np.float64)
     references = np.asarray(references, dtype=np.float64)
@@ -37,6 +41,23 @@ def ball_query_indices(
         raise ValueError(f"radius must be positive, got {radius}")
     if len(references) == 0:
         raise ValueError("ball query with empty reference cloud")
+    cache = hooks.active_cache()
+    if cache is not None:
+        return cache.memoize(
+            "ball_query",
+            (queries, references),
+            {"radius": float(radius), "k": k},
+            lambda: _ball_query_compute(queries, references, radius, k),
+        )
+    return _ball_query_compute(queries, references, radius, k)
+
+
+def _ball_query_compute(
+    queries: np.ndarray,
+    references: np.ndarray,
+    radius: float,
+    k: int,
+) -> np.ndarray:
     sq = pairwise_squared_distance(queries, references)
     r2 = radius * radius
     n_ref = sq.shape[1]

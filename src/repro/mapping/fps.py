@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import hooks
+
 __all__ = ["farthest_point_sampling", "random_sampling"]
 
 
@@ -24,6 +26,9 @@ def farthest_point_sampling(
     O(n_samples * N) incremental algorithm: maintain for every input point
     its distance to the nearest already-selected output and repeatedly pick
     the arg-max.
+
+    Never mutates ``points``; the returned index array is freshly owned by
+    the caller (also on a map-cache hit).
     """
     points = np.asarray(points, dtype=np.float64)
     n = len(points)
@@ -35,6 +40,20 @@ def farthest_point_sampling(
         raise ValueError(f"n_samples must be >= 1, got {n_samples}")
     n_samples = min(n_samples, n)
 
+    cache = hooks.active_cache()
+    if cache is not None:
+        return cache.memoize(
+            "fps",
+            (points,),
+            {"n_samples": n_samples, "start_index": start_index},
+            lambda: _fps_compute(points, n_samples, start_index),
+        )
+    return _fps_compute(points, n_samples, start_index)
+
+
+def _fps_compute(
+    points: np.ndarray, n_samples: int, start_index: int
+) -> np.ndarray:
     selected = np.empty(n_samples, dtype=np.int64)
     selected[0] = start_index
     # min_sq_dist[i] = squared distance from point i to the selected set.

@@ -1,0 +1,47 @@
+"""Map-result memoization hooks for the reference mapping operations.
+
+The functional mapping ops (FPS, kNN, ball query, kernel mapping) are pure
+functions of their coordinate inputs, yet the networks recompute them for
+every layer and every request even when the geometry is identical — exactly
+the redundancy PointAcc's MMU exploits by keeping map tables resident.  The
+simulation engine (:mod:`repro.engine`) exploits the same redundancy on the
+host side: while a cache is *active*, every mapping op first consults it
+before computing.
+
+The hook is deliberately dumb: a module-level slot plus a context manager.
+Anything implementing ``memoize(op, arrays, params, compute)`` can be
+installed (see :class:`repro.engine.MapCache`).  When no cache is active —
+the default, and the state every test suite starts from — the mapping ops
+run exactly as before; results are bit-identical either way, which the
+property suite (`tests/properties/test_prop_engine.py`) enforces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["active_cache", "use_map_cache"]
+
+_ACTIVE = None
+
+
+def active_cache():
+    """The currently installed map cache, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_map_cache(cache):
+    """Install ``cache`` as the active map cache for the enclosed block.
+
+    Nests correctly (the previous cache is restored on exit) and is
+    exception-safe.  Passing ``None`` disables memoization inside the block,
+    which the engine uses to build deliberately cold baselines.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE = previous

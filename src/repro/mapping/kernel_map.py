@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..pointcloud.coords import coords_to_keys, kernel_offsets
+from . import hooks
 from .maps import MapTable
 
 __all__ = [
@@ -57,6 +58,23 @@ def _resolve_offsets(
     return kernel_offsets(kernel_size, in_coords.shape[1]) * tensor_stride
 
 
+def _memoized(
+    algorithm: str,
+    in_coords: np.ndarray,
+    out_coords: np.ndarray,
+    offsets: np.ndarray,
+    compute,
+) -> MapTable:
+    """Consult the active map cache; algorithms key separately because their
+    tables are set-equal but row-ordered differently (bit-identity matters)."""
+    cache = hooks.active_cache()
+    if cache is None:
+        return compute()
+    return cache.memoize(
+        f"kernel_map/{algorithm}", (in_coords, out_coords, offsets), {}, compute
+    )
+
+
 def kernel_map_bruteforce(
     in_coords: np.ndarray,
     out_coords: np.ndarray,
@@ -67,6 +85,15 @@ def kernel_map_bruteforce(
     """Reference kernel mapping by exhaustive comparison (testing only)."""
     in_coords, out_coords = _validate(in_coords, out_coords)
     offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    return _memoized(
+        "bruteforce", in_coords, out_coords, offsets,
+        lambda: _bruteforce_compute(in_coords, out_coords, offsets),
+    )
+
+
+def _bruteforce_compute(
+    in_coords: np.ndarray, out_coords: np.ndarray, offsets: np.ndarray
+) -> MapTable:
     in_list = {tuple(c): i for i, c in enumerate(in_coords.tolist())}
     ins, outs, weights = [], [], []
     for w, delta in enumerate(offsets.tolist()):
@@ -100,6 +127,15 @@ def kernel_map_hash(
     """
     in_coords, out_coords = _validate(in_coords, out_coords)
     offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    return _memoized(
+        "hash", in_coords, out_coords, offsets,
+        lambda: _hash_compute(in_coords, out_coords, offsets),
+    )
+
+
+def _hash_compute(
+    in_coords: np.ndarray, out_coords: np.ndarray, offsets: np.ndarray
+) -> MapTable:
     table = {int(key): i for i, key in enumerate(coords_to_keys(in_coords))}
     ins, outs, weights = [], [], []
     for w, delta in enumerate(offsets):
@@ -137,6 +173,15 @@ def kernel_map_mergesort(
     """
     in_coords, out_coords = _validate(in_coords, out_coords)
     offsets = _resolve_offsets(in_coords, kernel_size, tensor_stride, offsets)
+    return _memoized(
+        "mergesort", in_coords, out_coords, offsets,
+        lambda: _mergesort_compute(in_coords, out_coords, offsets),
+    )
+
+
+def _mergesort_compute(
+    in_coords: np.ndarray, out_coords: np.ndarray, offsets: np.ndarray
+) -> MapTable:
     if len(in_coords) == 0 or len(out_coords) == 0:
         empty = np.empty(0, dtype=np.int64)
         return MapTable(empty, empty, empty, kernel_volume=len(offsets))

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..pointcloud.coords import pairwise_squared_distance
+from . import hooks
 from .maps import MapTable
 
 __all__ = ["knn_indices", "knn_maps"]
@@ -27,6 +28,9 @@ def knn_indices(
     references exist, the available ones are repeated to pad the last column
     (mirroring the PointNet++ reference implementation's behaviour of reusing
     the nearest point).
+
+    Never mutates either input; both returned arrays are freshly owned by
+    the caller (no views of internals, also on a map-cache hit).
     """
     queries = np.asarray(queries, dtype=np.float64)
     references = np.asarray(references, dtype=np.float64)
@@ -34,12 +38,28 @@ def knn_indices(
         raise ValueError(f"k must be >= 1, got {k}")
     if len(references) == 0:
         raise ValueError("knn with empty reference cloud")
+    cache = hooks.active_cache()
+    if cache is not None:
+        return cache.memoize(
+            "knn",
+            (queries, references),
+            {"k": k},
+            lambda: _knn_compute(queries, references, k),
+        )
+    return _knn_compute(queries, references, k)
+
+
+def _knn_compute(
+    queries: np.ndarray, references: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
     sq = pairwise_squared_distance(queries, references)
     n_ref = sq.shape[1]
     k_eff = min(k, n_ref)
     # Stable top-k: sort (distance, index) pairs.
     order = np.lexsort((np.broadcast_to(np.arange(n_ref), sq.shape), sq), axis=1)
-    idx = order[:, :k_eff]
+    # Copy: a plain slice would be a view keeping the full (n_q, n_ref)
+    # sort matrix alive and would hand the caller non-owned storage.
+    idx = np.ascontiguousarray(order[:, :k_eff])
     dist = np.take_along_axis(sq, idx, axis=1)
     if k_eff < k:
         pad = k - k_eff

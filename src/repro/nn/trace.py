@@ -115,11 +115,19 @@ class LayerSpec:
 
 @dataclass
 class Trace:
-    """An ordered workload trace plus aggregate statistics."""
+    """An ordered workload trace plus aggregate statistics.
+
+    ``meta`` carries build provenance that is *not* part of the workload
+    itself — e.g. the simulation engine stamps map-cache hit/miss counts and
+    trace-reuse flags there.  Hardware models must never read it (two traces
+    with different ``meta`` describe identical work), which is why it stays
+    out of ``summary()``'s workload counts.
+    """
 
     specs: list[LayerSpec] = field(default_factory=list)
     name: str = ""
     input_points: int = 0  # points in the raw network input (set by runners)
+    meta: dict = field(default_factory=dict)
 
     def record(self, spec: LayerSpec) -> LayerSpec:
         self.specs.append(spec)

@@ -1,0 +1,202 @@
+"""Unit tests for the simulation engine: cache, scheduler, engine plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MapCache,
+    SimRequest,
+    SimulationEngine,
+    backend_names,
+    estimate_points,
+    resolve_backend,
+    run_cold,
+    schedule,
+)
+from repro.mapping import MapTable, farthest_point_sampling, use_map_cache
+
+
+class TestMapCache:
+    def test_hit_miss_accounting(self, rng):
+        cache = MapCache()
+        pts = rng.normal(size=(64, 3))
+        with use_map_cache(cache):
+            a = farthest_point_sampling(pts, 8)
+            b = farthest_point_sampling(pts, 8)
+            c = farthest_point_sampling(pts, 9)  # different params -> miss
+        assert np.array_equal(a, b)
+        assert cache.stats.hits == 1 and cache.stats.misses == 2
+        assert cache.stats.by_op["fps"] == {"hits": 1, "misses": 2}
+        assert 0 < cache.stats.hit_rate < 1
+        assert len(c) == 9
+
+    def test_content_addressing_sees_values_not_objects(self, rng):
+        cache = MapCache()
+        pts = rng.normal(size=(32, 3))
+        with use_map_cache(cache):
+            a = farthest_point_sampling(pts, 6)
+            b = farthest_point_sampling(pts.copy(), 6)  # equal content -> hit
+        assert cache.stats.hits == 1
+        assert np.array_equal(a, b)
+
+    def test_hits_return_owned_uncorruptible_arrays(self, rng):
+        cache = MapCache()
+        pts = rng.normal(size=(32, 3))
+        with use_map_cache(cache):
+            first = farthest_point_sampling(pts, 6)
+            first[:] = -1  # vandalize the returned array
+            second = farthest_point_sampling(pts, 6)
+        assert not np.shares_memory(first, second)
+        assert np.array_equal(second, farthest_point_sampling(pts, 6))
+
+    def test_memoize_copies_tuples_and_maptables(self):
+        cache = MapCache()
+        table = MapTable(np.arange(3), np.arange(3), np.zeros(3, np.int64), 4)
+        out1 = cache.memoize("op", (np.arange(4),), {}, lambda: table)
+        out2 = cache.memoize("op", (np.arange(4),), {}, lambda: table)
+        assert out2.as_set() == table.as_set()
+        assert not np.shares_memory(out2.in_idx, out1.in_idx)
+        tup = cache.memoize("op2", (np.arange(2),), {}, lambda: (np.ones(2), np.zeros(2)))
+        assert isinstance(tup, tuple) and len(tup) == 2
+
+    def test_lru_eviction_by_entries(self):
+        cache = MapCache(max_entries=2)
+        for i in range(4):
+            cache.memoize("op", (np.full(4, i),), {}, lambda i=i: np.full(2, i))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+
+    def test_eviction_by_bytes(self):
+        cache = MapCache(max_bytes=100)
+        for i in range(3):
+            cache.memoize("op", (np.full(4, i),), {}, lambda: np.zeros(32))
+        assert cache.stats.stored_bytes <= 100 + 32 * 8
+        assert cache.stats.evictions >= 2
+
+    def test_nested_activation_restores_previous(self):
+        outer, inner = MapCache(), MapCache()
+        from repro.mapping import active_cache
+
+        assert active_cache() is None
+        with use_map_cache(outer):
+            with use_map_cache(inner):
+                assert active_cache() is inner
+            assert active_cache() is outer
+        assert active_cache() is None
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            MapCache(max_entries=0)
+        with pytest.raises(ValueError):
+            MapCache(max_bytes=0)
+
+
+class TestScheduler:
+    def _reqs(self):
+        return [
+            SimRequest("MinkNet(o)", scale=0.2, seed=0),          # large
+            SimRequest("PointNet++(c)", scale=0.2, seed=1),       # small
+            SimRequest("PointNet++(c)", scale=0.2, seed=0, priority=5),
+            SimRequest("PointNet++(c)", scale=0.2, seed=1),       # dup of [1]
+        ]
+
+    def test_fifo_preserves_order(self):
+        assert schedule(self._reqs(), "fifo") == [0, 1, 2, 3]
+
+    def test_priority_is_stable(self):
+        order = schedule(self._reqs(), "priority")
+        assert order[0] == 2  # highest priority first
+        assert order[1:] == [0, 1, 3]  # ties keep arrival order
+
+    def test_bucketed_groups_small_first_and_duplicates_adjacent(self):
+        order = schedule(self._reqs(), "bucketed")
+        assert order[-1] == 0  # the big MinkNet cloud goes last
+        dup_positions = [order.index(1), order.index(3)]
+        assert abs(dup_positions[0] - dup_positions[1]) == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            schedule(self._reqs(), "lifo")
+
+    def test_estimate_points_scales(self):
+        small = estimate_points("PointNet++(c)", 0.1)
+        big = estimate_points("PointNet++(c)", 1.0)
+        assert 16 <= small < big
+        # n_points override honored (S3DIS blocks are 4096 points)
+        assert estimate_points("PointNet++(s)", 1.0) == 4096
+
+
+class TestBackends:
+    def test_names_cover_accelerators_and_platforms(self):
+        names = backend_names()
+        assert "pointacc" in names and "mesorasi" in names
+        assert "RTX 2080Ti" in names
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_backend("TPUv9")
+
+
+class TestSimulationEngine:
+    def test_batch_returns_submission_order(self):
+        engine = SimulationEngine(backends=("pointacc",), policy="priority")
+        reqs = [
+            SimRequest("PointNet++(c)", scale=0.1, seed=0, priority=0),
+            SimRequest("PointNet++(c)", scale=0.1, seed=1, priority=9),
+        ]
+        results = engine.run_batch(reqs)
+        assert [r.request for r in results] == reqs
+
+    def test_trace_reuse_and_meta_stamp(self):
+        engine = SimulationEngine(backends=("pointacc",))
+        reqs = [SimRequest("PointNet++(c)", scale=0.1, seed=0)] * 3
+        results = engine.run_batch(reqs)
+        assert [r.trace_reused for r in results] == [False, True, True]
+        trace = results[0].trace
+        assert trace.meta["workload_key"] == reqs[0].workload_key
+        assert trace.meta["map_cache"]["misses"] > 0
+        stats = engine.stats()
+        assert stats.trace_builds == 1 and stats.trace_reuses == 2
+        assert stats.report_reuses == 2
+        assert stats.throughput_rps > 0
+
+    def test_stream_yields_everything_across_windows(self):
+        engine = SimulationEngine(backends=("pointacc",), policy="bucketed")
+        reqs = [SimRequest("PointNet++(c)", scale=0.1, seed=i % 2)
+                for i in range(5)]
+        results = list(engine.stream(iter(reqs), window=2))
+        assert len(results) == 5
+        assert {r.request.seed for r in results} == {0, 1}
+
+    def test_unsupported_backend_is_isolated(self):
+        engine = SimulationEngine(backends=("pointacc", "mesorasi"))
+        result = engine.run_batch([SimRequest("MinkNet(i)", scale=0.08)])[0]
+        assert "pointacc" in result.reports
+        assert "mesorasi" in result.errors
+        assert "delayed aggregation" in result.errors["mesorasi"]
+        # .report() falls back to the first available backend
+        assert result.report().platform.startswith("PointAcc")
+
+    def test_report_raises_when_everything_failed(self):
+        result = run_cold(SimRequest("MinkNet(i)", scale=0.08),
+                          backends=("mesorasi",))
+        assert result.errors
+        with pytest.raises(KeyError):
+            result.report()
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(backends=())
+        with pytest.raises(ValueError):
+            SimulationEngine(policy="random")
+        engine = SimulationEngine(backends=("pointacc",))
+        with pytest.raises(ValueError):
+            next(engine.stream(iter([]), window=0))
+
+    def test_disabled_map_cache(self):
+        engine = SimulationEngine(backends=("pointacc",), map_cache=None)
+        results = engine.run_batch(
+            [SimRequest("PointNet++(c)", scale=0.1)] * 2
+        )
+        assert results[0].map_cache_hits == 0
+        assert engine.stats().map_cache == {}

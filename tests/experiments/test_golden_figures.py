@@ -1,0 +1,124 @@
+"""Golden-regression harness: fast experiments vs checked-in paper figures.
+
+``benchmarks/_results/*.txt`` archives every regenerated table at full
+scale (``scale=1.0, seed=1`` — the benchmark harness defaults).  This test
+re-runs a *fast* subset of those experiments at the same settings and
+compares each regenerated table against its archived golden file, so a
+refactor that silently drifts a paper figure fails CI instead of shipping.
+
+Comparison is structural + numeric: the non-numeric skeleton of every line
+must match exactly (same rows, same labels, same units), while each number
+is compared with a small relative tolerance (``RTOL``) to absorb benign
+formatting/rounding churn without letting real drift through.  The models
+are deterministic, so today the match is exact; the tolerance is headroom,
+not slack for known error.
+
+Keep the subset fast (< ~5 s total): heavyweight figures (full MinkNet(o)
+sweeps) stay covered by the benchmark suite that *writes* the goldens.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent.parent / "benchmarks" / "_results"
+
+# The archive settings (benchmarks/conftest.py defaults).
+GOLDEN_SCALE = 1.0
+GOLDEN_SEED = 1
+
+# Fast subset: sub-second runners spanning the component models (DRAM
+# timing, MPU TopK, area/ASIC table) and one full cost-model figure (the
+# Fig. 18 cache sweep).
+FAST_EXPERIMENTS = ["abl-dram", "abl-topk", "tab03", "fig18"]
+
+RTOL = 0.02
+
+_NUMBER = re.compile(r"[-+]?\d+\.?\d*(?:[eE][-+]?\d+)?")
+
+
+def _dissect(line: str) -> tuple[str, list[float]]:
+    """Split a table line into its non-numeric skeleton and its numbers."""
+    numbers = [float(m) for m in _NUMBER.findall(line)]
+    skeleton = _NUMBER.sub("#", line).rstrip()
+    return skeleton, numbers
+
+
+def compare_tables(regenerated: str, golden: str, context: str) -> list[str]:
+    """Differences between two archived tables (empty list == match)."""
+    new_lines = regenerated.rstrip().splitlines()
+    old_lines = golden.rstrip().splitlines()
+    problems = []
+    if len(new_lines) != len(old_lines):
+        problems.append(
+            f"{context}: row count changed "
+            f"({len(old_lines)} -> {len(new_lines)} lines)"
+        )
+        return problems
+    for lineno, (new, old) in enumerate(zip(new_lines, old_lines), start=1):
+        new_skel, new_nums = _dissect(new)
+        old_skel, old_nums = _dissect(old)
+        if new_skel != old_skel:
+            problems.append(
+                f"{context}:{lineno}: layout/label drift\n"
+                f"  golden: {old.rstrip()}\n  now   : {new.rstrip()}"
+            )
+            continue
+        for new_v, old_v in zip(new_nums, old_nums):
+            if not np.isclose(new_v, old_v, rtol=RTOL, atol=1e-9):
+                problems.append(
+                    f"{context}:{lineno}: value drift {old_v} -> {new_v} "
+                    f"(> {RTOL * 100:.0f}% tolerance)\n"
+                    f"  golden: {old.rstrip()}\n  now   : {new.rstrip()}"
+                )
+    return problems
+
+
+def test_fast_subset_is_actually_registered():
+    for exp_id in FAST_EXPERIMENTS:
+        assert exp_id in ALL_EXPERIMENTS
+        assert (RESULTS_DIR / f"{exp_id}.txt").is_file(), (
+            f"golden file for {exp_id} missing; run the benchmark suite "
+            f"(make bench) to regenerate benchmarks/_results/"
+        )
+
+
+@pytest.mark.parametrize("exp_id", FAST_EXPERIMENTS)
+def test_golden_figures(exp_id):
+    golden = (RESULTS_DIR / f"{exp_id}.txt").read_text()
+    result = ALL_EXPERIMENTS[exp_id].run(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    problems = compare_tables(result.table(), golden, exp_id)
+    assert not problems, (
+        f"{exp_id} drifted from its golden figure:\n" + "\n".join(problems)
+    )
+
+
+class TestComparator:
+    """The comparator itself must catch drift and forgive rounding."""
+
+    GOLDEN = "latency  6.16 ms\nenergy   108.1 mJ"
+
+    def test_exact_match_passes(self):
+        assert compare_tables(self.GOLDEN, self.GOLDEN, "t") == []
+
+    def test_within_tolerance_passes(self):
+        close = "latency  6.17 ms\nenergy   108.3 mJ"
+        assert compare_tables(close, self.GOLDEN, "t") == []
+
+    def test_value_drift_detected(self):
+        drifted = "latency  7.91 ms\nenergy   108.1 mJ"
+        problems = compare_tables(drifted, self.GOLDEN, "t")
+        assert len(problems) == 1 and "value drift" in problems[0]
+
+    def test_label_drift_detected(self):
+        relabeled = "latency  6.16 us\nenergy   108.1 mJ"
+        problems = compare_tables(relabeled, self.GOLDEN, "t")
+        assert len(problems) == 1 and "layout/label drift" in problems[0]
+
+    def test_missing_row_detected(self):
+        problems = compare_tables("latency  6.16 ms", self.GOLDEN, "t")
+        assert len(problems) == 1 and "row count" in problems[0]

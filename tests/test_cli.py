@@ -66,3 +66,23 @@ class TestCommands:
         assert main(["inspect", "PointNet++(c)", "--scale", "0.08"]) == 0
         out = capsys.readouterr().out
         assert "GMACs" in out and "map_fps" in out
+
+    def test_serve_sim(self, capsys):
+        code = main(["serve-sim", "--requests", "6", "--scale", "0.1",
+                     "--seed-pool", "2", "--benchmarks", "PointNet++(c)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 6 requests" in out
+        assert "reuse" in out  # seed pool < requests => trace reuse happened
+
+    def test_serve_sim_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--benchmarks", "AlexNet"])
+
+    def test_bench_engine(self, capsys):
+        code = main(["bench-engine", "--benchmarks", "PointNet++(c)",
+                     "--repeats", "2", "--seeds", "1", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "bit-identical: yes" in out

@@ -58,6 +58,13 @@ def test_streaming_inference(capsys):
     assert "sustained" in out and "FPS" in out
 
 
+def test_batch_serving(capsys):
+    run_example("batch_serving.py", ["--repeats", "2", "--scale", "0.15"])
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "reuse" in out
+
+
 def test_memory_system_demo(capsys):
     run_example("memory_system_demo.py")
     out = capsys.readouterr().out
