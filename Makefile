@@ -8,6 +8,7 @@
 #   make bench-smoke  - fast benchmark smoke at reduced scale (prints tables,
 #                       never overwrites the goldens - see benchmarks/conftest.py)
 #   make engine-bench - the engine throughput comparison from the CLI
+#   make bench-cluster- cluster throughput + persistence smoke at reduced scale
 
 PYTHON      ?= python
 PYTHONPATH  := src
@@ -15,7 +16,7 @@ SMOKE_SCALE ?= 0.1
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-smoke engine-bench
+.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,3 +37,7 @@ bench-smoke:
 
 engine-bench:
 	$(PYTHON) -m repro bench-engine
+
+bench-cluster:
+	REPRO_BENCH_SCALE=$(SMOKE_SCALE) $(PYTHON) -m pytest \
+		benchmarks/test_cluster_throughput.py -q

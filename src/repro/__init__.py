@@ -14,7 +14,10 @@ Python/numpy:
 * experiment runners regenerating every table and figure
   (``repro.experiments``),
 * a batched simulation engine serving request streams through shared
-  backends with content-addressed map caching (``repro.engine``).
+  backends with content-addressed map caching (``repro.engine``),
+* a sharded serving cluster over those engines — workload-affinity
+  routing, a tiered L1/L2/disk map cache that persists across CLI
+  invocations, and deadline/tenant QoS (``repro.cluster``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -31,4 +34,5 @@ __all__ = [
     "analysis",
     "experiments",
     "engine",
+    "cluster",
 ]

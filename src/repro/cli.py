@@ -7,9 +7,13 @@ Commands:
 * ``experiment``   — regenerate one (or all) paper tables/figures;
 * ``compare``      — PointAcc vs every platform on one benchmark;
 * ``inspect``      — dump a benchmark's layer trace;
-* ``serve-sim``    — stream a synthetic request workload through the
-                     batched simulation engine;
-* ``bench-engine`` — engine (cached) vs cold sequential throughput.
+* ``serve-sim``    — stream a request workload (synthetic or from a JSONL
+                     request file) through the batched simulation engine;
+* ``bench-engine`` — engine (cached) vs cold sequential throughput;
+* ``serve-cluster``— stream a workload through a sharded engine cluster
+                     with tiered (L1/L2/disk) map caching and deadline QoS;
+* ``bench-cluster``— warm cluster vs cold single engine throughput, plus
+                     the disk-persistence warm-start path.
 """
 
 from __future__ import annotations
@@ -19,6 +23,13 @@ import sys
 import time
 
 from .baselines.mesorasi import UnsupportedModelError
+from .cluster import (
+    ROUTING_MODES,
+    EngineCluster,
+    WorkloadError,
+    load_requests,
+    synthetic_stream,
+)
 from .core import PointAccModel, POINTACC_FULL
 from .engine import (
     ACCELERATORS,
@@ -34,6 +45,10 @@ from .experiments.common import format_table
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
 
 __all__ = ["main"]
+
+
+class CLIError(Exception):
+    """A user-input problem: main() prints the message and exits 2."""
 
 
 def cmd_list(_args) -> int:
@@ -68,7 +83,12 @@ def _print_report(report) -> None:
 
 def cmd_run(args) -> int:
     trace = build_trace(args.benchmark, scale=args.scale, seed=args.seed)
-    machine = resolve_backend(args.machine)
+    try:
+        machine = resolve_backend(args.machine)
+    except KeyError:
+        print(f"error: unknown machine {args.machine!r}; "
+              f"known: {backend_names()}", file=sys.stderr)
+        return 2
     try:
         report = machine.run(trace)
     except UnsupportedModelError as exc:
@@ -150,28 +170,14 @@ def _parse_benchmarks(arg: str) -> list[str]:
     names = [b.strip() for b in arg.split(",") if b.strip()]
     unknown = [b for b in names if b not in known]
     if unknown:
-        raise SystemExit(f"error: unknown benchmark(s) {unknown}; known: {sorted(known)}")
+        raise CLIError(f"unknown benchmark(s) {unknown}; known: {sorted(known)}")
     return names
 
 
-def cmd_serve_sim(args) -> int:
-    """Simulate serving: a synthetic request stream through the engine.
-
-    Seeds cycle over a pool of ``--seed-pool`` distinct clouds, so the
-    stream contains the repeated geometry real traffic has and the caches
-    have something to earn.
-    """
-    if args.seed_pool < 1:
-        print(f"error: --seed-pool must be >= 1, got {args.seed_pool}",
-              file=sys.stderr)
-        return 2
-    if args.window < 1:
-        print(f"error: --window must be >= 1, got {args.window}", file=sys.stderr)
-        return 2
-    benchmarks = _parse_benchmarks(args.benchmarks)
-    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    # Validate with the same resolution the engine uses (accelerator names
-    # are case-insensitive, platform names exact).
+def _parse_backends(arg: str) -> list[str]:
+    """Validate backends with the same resolution the engine uses
+    (accelerator names are case-insensitive, platform names exact)."""
+    backends = [b.strip() for b in arg.split(",") if b.strip()]
     unknown = []
     for b in backends:
         try:
@@ -179,20 +185,39 @@ def cmd_serve_sim(args) -> int:
         except KeyError:
             unknown.append(b)
     if unknown:
-        print(f"error: unknown backend(s) {unknown}; "
-              f"known: {backend_names()}", file=sys.stderr)
+        raise CLIError(f"unknown backend(s) {unknown}; known: {backend_names()}")
+    return backends
+
+
+def _build_workload(args, tenant_pool: int = 1,
+                    deadline_ms: float | None = None) -> list[SimRequest]:
+    """The serving commands' traffic: a request file, or a synthetic stream.
+
+    Synthetic seeds cycle over a pool of ``--seed-pool`` distinct clouds, so
+    the stream contains the repeated geometry real traffic has and the
+    caches have something to earn.
+    """
+    try:
+        if getattr(args, "request_file", None):
+            return load_requests(args.request_file)
+        benchmarks = _parse_benchmarks(args.benchmarks)
+        return list(synthetic_stream(
+            benchmarks, args.requests, scale=args.scale,
+            seed_pool=args.seed_pool, tenant_pool=tenant_pool,
+            deadline_ms=deadline_ms,
+        ))
+    except WorkloadError as exc:
+        raise CLIError(str(exc)) from exc
+
+
+def cmd_serve_sim(args) -> int:
+    """Simulate serving: a request stream through the engine."""
+    if args.window < 1:
+        print(f"error: --window must be >= 1, got {args.window}", file=sys.stderr)
         return 2
+    backends = _parse_backends(args.backends)
+    requests = _build_workload(args)
     engine = SimulationEngine(backends=backends, policy=args.policy)
-    requests = (
-        SimRequest(
-            benchmark=benchmarks[i % len(benchmarks)],
-            scale=args.scale,
-            seed=i % args.seed_pool,
-            priority=i % 3,
-            tag=f"req{i}",
-        )
-        for i in range(args.requests)
-    )
     first = backends[0]
     print(f"{'req':>5s} {'benchmark':16s} {'points':>7s} "
           f"{first + ' ms':>12s} {'trace':>6s} {'wall ms':>8s}")
@@ -216,8 +241,9 @@ def cmd_serve_sim(args) -> int:
     return 0
 
 
-def cmd_bench_engine(args) -> int:
-    """Throughput comparison: engine with caches vs cold sequential runs."""
+def _repeated_workload(args) -> tuple[list[SimRequest], list[str]]:
+    """The benchmark commands' stream: every distinct (benchmark, seed)
+    cloud appears ``--repeats`` times — steady-state serving traffic."""
     benchmarks = _parse_benchmarks(args.benchmarks)
     requests = [
         SimRequest(benchmark=b, scale=args.scale, seed=s)
@@ -225,6 +251,32 @@ def cmd_bench_engine(args) -> int:
         for b in benchmarks
         for _ in range(args.repeats)
     ]
+    return requests, benchmarks
+
+
+def _count_mismatches(baseline, results, backend: str = "pointacc") -> int:
+    return sum(
+        a.reports[backend] != b.reports[backend]
+        for a, b in zip(baseline, results)
+    )
+
+
+def _print_speedup(slow_s: float, fast_s: float, mismatch: int) -> int:
+    """Shared bench epilogue; the exit code (0 iff bit-identical)."""
+    verdict = "yes" if mismatch == 0 else f"NO, {mismatch} differ"
+    print(f"\nspeedup: {slow_s / fast_s:.2f}x  "
+          f"(reports bit-identical: {verdict})")
+    return 0 if mismatch == 0 else 1
+
+
+def _bench_title(args, n: int, benchmarks) -> str:
+    return (f"{n} requests: {','.join(benchmarks)} x {args.repeats} repeats "
+            f"x {args.seeds} seeds @ scale {args.scale}")
+
+
+def cmd_bench_engine(args) -> int:
+    """Throughput comparison: engine with caches vs cold sequential runs."""
+    requests, benchmarks = _repeated_workload(args)
     t0 = time.perf_counter()
     cold = [run_cold(r, backends=("pointacc",)) for r in requests]
     cold_s = time.perf_counter() - t0
@@ -234,10 +286,7 @@ def cmd_bench_engine(args) -> int:
     results = engine.run_batch(requests)
     engine_s = time.perf_counter() - t0
 
-    mismatch = sum(
-        c.reports["pointacc"] != r.reports["pointacc"]
-        for c, r in zip(cold, results)
-    )
+    mismatch = _count_mismatches(cold, results)
     stats = engine.stats()
     cache = stats.map_cache or {}
     n = len(requests)
@@ -249,13 +298,112 @@ def cmd_bench_engine(args) -> int:
     ]
     print(format_table(
         ["mode", "wall s", "req/s", "trace reuse", "map-cache hits"],
-        rows,
-        title=f"{n} requests: {','.join(benchmarks)} x {args.repeats} repeats "
-              f"x {args.seeds} seeds @ scale {args.scale}",
+        rows, title=_bench_title(args, n, benchmarks),
     ))
-    print(f"\nspeedup: {cold_s / engine_s:.2f}x  "
-          f"(reports bit-identical: {'yes' if mismatch == 0 else f'NO, {mismatch} differ'})")
-    return 0 if mismatch == 0 else 1
+    return _print_speedup(cold_s, engine_s, mismatch)
+
+
+def cmd_serve_cluster(args) -> int:
+    """Stream a workload through the sharded cluster with tiered caching."""
+    if args.window < 1:
+        print(f"error: --window must be >= 1, got {args.window}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    backends = _parse_backends(args.backends)
+    requests = _build_workload(
+        args, tenant_pool=args.tenant_pool, deadline_ms=args.deadline_ms
+    )
+    cluster = EngineCluster(
+        n_shards=args.shards,
+        backends=backends,
+        policy=args.policy,
+        routing=args.routing,
+        cache_dir=args.cache_dir,
+    )
+    first = backends[0]
+    first_request_hits = None
+    print(f"{'req':>5s} {'benchmark':16s} {'shard':>5s} {'tenant':8s} "
+          f"{first + ' ms':>12s} {'trace':>6s} {'deadline':>8s}")
+    for result in cluster.stream(requests, window=args.window):
+        if "cluster" in result.errors:
+            print(f"{result.request.tag:>5s} {result.request.benchmark:16s} "
+                  f"{'-':>5s} {result.request.tenant:8s} "
+                  f"{'rejected':>12s} {'-':>6s} {'-':>8s}")
+            continue
+        if first_request_hits is None:  # first *admitted* request
+            first_request_hits = result.map_cache_hits
+        rep = result.reports.get(first)
+        modeled = f"{rep.total_seconds * 1e3:12.3f}" if rep else " unsupported"
+        deadline = {True: "met", False: "MISSED", None: "-"}[result.deadline_met]
+        print(f"{result.request.tag:>5s} {result.request.benchmark:16s} "
+              f"{result.shard:5d} {result.request.tenant:8s} {modeled} "
+              f"{'reuse' if result.trace_reused else 'build':>6s} "
+              f"{deadline:>8s}")
+    stats = cluster.stats()
+    print(f"\nserved {stats.admitted}/{stats.requests} requests "
+          f"({stats.rejected} rejected) in {stats.wall_seconds:.3f}s "
+          f"({stats.throughput_rps:.1f} req/s, shards={args.shards}, "
+          f"routing={args.routing}, policy={args.policy})")
+    print(f"deadlines: {stats.deadline_met} met, {stats.deadline_missed} missed")
+    print(f"shard requests: {stats.routing['counts']}")
+    l2 = stats.l2
+    print(f"L2 store: {l2.get('hits', 0)} hits / {l2.get('misses', 0)} misses, "
+          f"{l2.get('disk_hits', 0)} disk hits"
+          + (f" (persisted under {args.cache_dir})" if args.cache_dir else ""))
+    # Warm-start observability: with a pre-populated --cache-dir the very
+    # first admitted request already hits (the benchmark suite asserts on
+    # this line); '-' when nothing was admitted.
+    print(f"first-request map hits: "
+          f"{'-' if first_request_hits is None else first_request_hits}")
+    for tenant, acct in stats.tenants.items():
+        print(f"tenant {tenant}: {acct['requests']} requests, "
+              f"{acct['rejected']} rejected, "
+              f"{acct['deadline_met']} met / {acct['deadline_missed']} missed, "
+              f"{acct['modeled_seconds'] * 1e3:.3f} modeled ms")
+    return 0
+
+
+def cmd_bench_cluster(args) -> int:
+    """Warm cluster vs cold single engine on a repeated-workload stream."""
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    requests, benchmarks = _repeated_workload(args)
+    n = len(requests)
+
+    engine = SimulationEngine(backends=("pointacc",), policy=args.policy)
+    t0 = time.perf_counter()
+    cold_results = engine.run_batch(requests)
+    cold_s = time.perf_counter() - t0
+
+    cluster = EngineCluster(
+        n_shards=args.shards, backends=("pointacc",), policy=args.policy,
+        routing=args.routing, cache_dir=args.cache_dir,
+    )
+    cluster.run_batch(requests)  # warm-up pass: caches hot, memos filled
+    t0 = time.perf_counter()
+    warm_results = cluster.run_batch(requests)
+    warm_s = time.perf_counter() - t0
+
+    mismatch = _count_mismatches(cold_results, warm_results)
+    stats = cluster.stats()
+    rows = [
+        ["cold single engine", f"{cold_s:.3f}", f"{n / cold_s:.1f}", "-"],
+        [f"warm cluster ({args.shards} shards, {args.routing})",
+         f"{warm_s:.3f}", f"{n / warm_s:.1f}",
+         str(stats.routing["counts"])],
+    ]
+    print(format_table(
+        ["mode", "wall s", "req/s", "shard requests"],
+        rows, title=_bench_title(args, n, benchmarks),
+    ))
+    code = _print_speedup(cold_s, warm_s, mismatch)
+    if args.cache_dir:
+        print(f"map store persisted under {args.cache_dir} "
+              f"(a later serve-cluster --cache-dir warm-starts from it)")
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,18 +438,23 @@ def build_parser() -> argparse.ArgumentParser:
     ins_p.add_argument("--scale", type=float, default=0.1)
     ins_p.add_argument("--seed", type=int, default=0)
 
-    srv_p = sub.add_parser(
-        "serve-sim", help="stream a synthetic workload through the engine"
-    )
-    srv_p.add_argument("--requests", type=int, default=12)
-    srv_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
-    srv_p.add_argument("--backends", default="pointacc")
-    srv_p.add_argument("--scale", type=float, default=0.25)
-    srv_p.add_argument("--seed-pool", type=int, default=3,
+    def add_workload_args(p):
+        p.add_argument("--requests", type=int, default=12)
+        p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
+        p.add_argument("--backends", default="pointacc")
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seed-pool", type=int, default=3,
                        help="distinct clouds in the stream (repeats feed caches)")
-    srv_p.add_argument("--policy", choices=POLICIES, default="bucketed")
-    srv_p.add_argument("--window", type=int, default=8,
+        p.add_argument("--request-file", default=None, metavar="PATH",
+                       help="JSONL request file (overrides the synthetic stream)")
+        p.add_argument("--policy", choices=POLICIES, default="bucketed")
+        p.add_argument("--window", type=int, default=8,
                        help="streaming scheduling window")
+
+    srv_p = sub.add_parser(
+        "serve-sim", help="stream a workload through the engine"
+    )
+    add_workload_args(srv_p)
 
     be_p = sub.add_parser(
         "bench-engine", help="engine (cached) vs cold sequential throughput"
@@ -312,6 +465,36 @@ def build_parser() -> argparse.ArgumentParser:
     be_p.add_argument("--seeds", type=int, default=2)
     be_p.add_argument("--scale", type=float, default=0.25)
     be_p.add_argument("--policy", choices=POLICIES, default="bucketed")
+
+    sc_p = sub.add_parser(
+        "serve-cluster",
+        help="stream a workload through the sharded cluster (tiered cache, QoS)",
+    )
+    add_workload_args(sc_p)
+    sc_p.add_argument("--shards", type=int, default=4)
+    sc_p.add_argument("--routing", choices=ROUTING_MODES, default="affinity")
+    sc_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persist the shared map store here (warm-starts "
+                           "later invocations)")
+    sc_p.add_argument("--tenant-pool", type=int, default=2,
+                      help="distinct tenants cycled through the synthetic stream")
+    sc_p.add_argument("--deadline-ms", type=float, default=None,
+                      help="stamp every synthetic request with this deadline "
+                           "budget")
+
+    bc_p = sub.add_parser(
+        "bench-cluster",
+        help="warm cluster vs cold single engine throughput",
+    )
+    bc_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
+    bc_p.add_argument("--repeats", type=int, default=3,
+                      help="times each (benchmark, seed) cloud repeats")
+    bc_p.add_argument("--seeds", type=int, default=2)
+    bc_p.add_argument("--scale", type=float, default=0.25)
+    bc_p.add_argument("--policy", choices=POLICIES, default="bucketed")
+    bc_p.add_argument("--shards", type=int, default=4)
+    bc_p.add_argument("--routing", choices=ROUTING_MODES, default="affinity")
+    bc_p.add_argument("--cache-dir", default=None, metavar="DIR")
 
     return parser
 
@@ -326,8 +509,14 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": cmd_inspect,
         "serve-sim": cmd_serve_sim,
         "bench-engine": cmd_bench_engine,
+        "serve-cluster": cmd_serve_cluster,
+        "bench-cluster": cmd_bench_cluster,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

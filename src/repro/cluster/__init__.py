@@ -1,0 +1,31 @@
+"""Sharded multi-engine serving with tiered map caching and deadline QoS.
+
+The production-scale layer above :mod:`repro.engine`: an
+:class:`EngineCluster` routes request streams across N engine shards
+(:class:`ShardRouter` — workload-affinity hashing or least-loaded), backs
+every shard's private L1 map cache with one shared, disk-persistable
+:class:`SharedMapStore`, and layers deadline-aware admission plus
+per-tenant fair share (:class:`QoSScheduler`) on top — all surfaced through
+an aggregated :class:`ClusterStats`.  See ``README.md`` ("Cluster
+architecture") for the tier diagram and deadline semantics.
+"""
+
+from .cluster import ClusterStats, EngineCluster
+from .qos import QoSScheduler, TenantAccount
+from .router import ROUTING_MODES, ShardRouter
+from .store import SharedMapStore
+from .workload import WorkloadError, known_benchmarks, load_requests, synthetic_stream
+
+__all__ = [
+    "ClusterStats",
+    "EngineCluster",
+    "QoSScheduler",
+    "ROUTING_MODES",
+    "ShardRouter",
+    "SharedMapStore",
+    "TenantAccount",
+    "WorkloadError",
+    "known_benchmarks",
+    "load_requests",
+    "synthetic_stream",
+]

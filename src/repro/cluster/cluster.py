@@ -1,0 +1,253 @@
+"""Sharded multi-engine serving: route, admit, execute, aggregate.
+
+:class:`EngineCluster` turns the single :class:`~repro.engine.SimulationEngine`
+into a servable fleet:
+
+1. admission — the QoS layer rejects requests whose deadline budget is
+   already spent (a rejected request comes back as a report-less
+   :class:`~repro.engine.SimResult` with an ``errors["cluster"]`` reason);
+2. ordering — admitted requests in a window are ordered
+   earliest-deadline-first with per-tenant fair share and the priority /
+   submission-index tie-breaks (:mod:`repro.cluster.qos`);
+3. routing — each request lands on a shard (:mod:`repro.cluster.router`):
+   ``affinity`` keeps equal workloads on one engine for trace-memo hits,
+   ``least-loaded`` balances estimated work;
+4. execution — consecutive same-shard requests are handed to that shard's
+   engine as one sub-batch (the shard's own policy applies inside it);
+   every shard shares one L2 :class:`~repro.cluster.store.SharedMapStore`
+   behind its private L1 map cache, so mapping tables computed anywhere
+   serve everywhere — and persist across CLI invocations when the store
+   has a cache directory.
+
+The correctness contract is inherited, not relaxed: for admitted requests,
+cluster output is bit-identical to cold sequential ``PointAccModel`` runs
+for every shard count, routing mode, and cache-tier configuration
+(``tests/properties/test_prop_cluster.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.engine import SimRequest, SimResult, SimulationEngine
+from ..engine.map_cache import MapCache
+from .qos import QoSScheduler
+from .router import ShardRouter
+from .store import SharedMapStore
+
+__all__ = ["ClusterStats", "EngineCluster"]
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate fleet behaviour: admission, deadlines, shards, cache tiers."""
+
+    requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    wall_seconds: float = 0.0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    routing: dict = field(default_factory=dict)  # ShardRouter.snapshot()
+    tenants: dict = field(default_factory=dict)  # tenant -> TenantAccount.summary()
+    shards: list = field(default_factory=list)  # per-shard EngineStats.summary()
+    l2: dict = field(default_factory=dict)  # SharedMapStore snapshot
+
+    @property
+    def throughput_rps(self) -> float:
+        """Admitted requests served per wall-clock second."""
+        return self.admitted / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "routing": dict(self.routing),
+            "tenants": dict(self.tenants),
+            "shards": list(self.shards),
+            "l2": dict(self.l2),
+        }
+
+
+class EngineCluster:
+    """N engine shards behind one router, QoS layer, and shared map store.
+
+    Parameters
+    ----------
+    n_shards:
+        Engine instances in the fleet.
+    backends / policy / reuse_traces:
+        Forwarded to every shard's :class:`SimulationEngine`.
+    routing:
+        ``"affinity"`` (hash of workload key; repeats co-locate) or
+        ``"least-loaded"`` (balance estimated work).
+    map_cache:
+        Per-shard L1 policy: ``"auto"`` gives each shard a private
+        :class:`MapCache`, ``None`` disables the L1 tier.
+    l2:
+        The shared tier: ``"auto"`` builds a :class:`SharedMapStore`
+        (persistent iff ``cache_dir`` is given), ``None`` disables L2, or
+        pass a pre-built store to share one across clusters.
+    cache_dir:
+        Disk-spill directory for the auto-built L2 store.  Lazy per-key
+        probing means a second cluster pointed at the same directory
+        warm-starts on its very first request.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        backends=("pointacc",),
+        policy: str = "fifo",
+        routing: str = "affinity",
+        map_cache: str | None = "auto",
+        l2: SharedMapStore | str | None = "auto",
+        cache_dir=None,
+        reuse_traces: bool = True,
+    ) -> None:
+        if l2 == "auto":
+            l2 = SharedMapStore(cache_dir=cache_dir)
+        elif cache_dir is not None:
+            raise ValueError("cache_dir requires the auto-built L2 store")
+        self.router = ShardRouter(n_shards, mode=routing)
+        self.l2 = l2
+        self.qos = QoSScheduler()
+        self.shards = [
+            SimulationEngine(
+                backends=backends,
+                policy=policy,
+                map_cache=MapCache() if map_cache == "auto" else map_cache,
+                l2=l2,
+                reuse_traces=reuse_traces,
+            )
+            for _ in range(n_shards)
+        ]
+        self._served = 0
+        self._rejected = 0
+        self._wall = 0.0
+        self._deadline_met = 0
+        self._deadline_missed = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _run_window(self, requests: list[SimRequest]) -> list[tuple[int, SimResult]]:
+        """Serve one window; returns ``(window_index, result)`` pairs in
+        dispatch-completion order (rejections first — they finish at
+        admission).  Deadlines are scored against elapsed wall time since
+        window entry, so queueing behind earlier dispatches counts."""
+        t0 = time.perf_counter()
+        base = self._served
+        completed: list[tuple[int, SimResult]] = []
+        admitted: list[int] = []
+        for i, request in enumerate(requests):
+            reason = self.qos.admit(request)
+            if reason is None:
+                admitted.append(i)
+            else:
+                self._rejected += 1
+                completed.append(
+                    (i, SimResult(request=request, index=base + i,
+                                  errors={"cluster": reason}))
+                )
+        # QoS dispatch order, then group maximal same-shard runs so each
+        # shard engine still sees contiguous sub-batches (its own policy
+        # applies within a run).
+        runs: list[tuple[int, list[int]]] = []
+        for i in self.qos.order(requests, admitted):
+            shard = self.router.route(requests[i])
+            if runs and runs[-1][0] == shard:
+                runs[-1][1].append(i)
+            else:
+                runs.append((shard, [i]))
+        for shard, idxs in runs:
+            results = self.shards[shard].run_batch([requests[i] for i in idxs])
+            elapsed = time.perf_counter() - t0
+            for i, result in zip(idxs, results):
+                result.index = base + i  # rebase engine-local -> cluster index
+                result.shard = shard
+                modeled = sum(r.total_seconds for r in result.reports.values())
+                met = self.qos.record(requests[i], elapsed, modeled)
+                result.deadline_met = met
+                if met is True:
+                    self._deadline_met += 1
+                elif met is False:
+                    self._deadline_missed += 1
+                completed.append((i, result))
+        self._served += len(requests)
+        self._wall += time.perf_counter() - t0
+        return completed
+
+    def run_batch(self, requests) -> list[SimResult]:
+        """Serve a batch; results come back in *submission* order.
+
+        Rejected requests occupy their slot with an ``errors["cluster"]``
+        entry and no reports; everything admitted carries its shard id and
+        (when a deadline was set) the met/missed verdict.
+        """
+        requests = list(requests)
+        results: list[SimResult | None] = [None] * len(requests)
+        for i, result in self._run_window(requests):
+            results[i] = result
+        return results  # type: ignore[return-value]
+
+    def stream(self, requests, window: int = 8):
+        """Streaming iterator mirroring ``SimulationEngine.stream``.
+
+        Admission and QoS ordering apply per window; results are yielded
+        in dispatch-completion order.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        requests = iter(requests)
+        while True:
+            chunk = []
+            for request in requests:
+                chunk.append(request)
+                if len(chunk) == window:
+                    break
+            if not chunk:
+                return
+            for _, result in self._run_window(chunk):
+                yield result
+
+    # ------------------------------------------------------------------
+    # Observability and persistence
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        """Aggregated fleet snapshot (shard stats taken at call time)."""
+        return ClusterStats(
+            requests=self._served,
+            admitted=self._served - self._rejected,
+            rejected=self._rejected,
+            wall_seconds=self._wall,
+            deadline_met=self._deadline_met,
+            deadline_missed=self._deadline_missed,
+            routing=self.router.snapshot(),
+            tenants=self.qos.summary(),
+            shards=[shard.stats().summary() for shard in self.shards],
+            l2=self.l2.stats().snapshot() if self.l2 is not None else {},
+        )
+
+    def save_cache(self, cache_dir=None) -> int:
+        """Spill the shared store to disk; returns entries written.
+
+        A no-op returning 0 when the cluster has no L2 tier.  With the
+        default write-through store this only matters for stores built
+        with ``write_through=False`` or an alternate ``cache_dir``.
+        """
+        if self.l2 is None:
+            return 0
+        return self.l2.save(cache_dir)

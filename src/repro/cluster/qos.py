@@ -1,0 +1,118 @@
+"""Admission and QoS: deadlines and per-tenant fair share for the cluster.
+
+The engine's ``priority`` policy orders a batch by a single integer.  A
+serving fleet needs two more signals, both carried on
+:class:`~repro.engine.SimRequest`:
+
+* ``deadline_ms`` — a wall-clock budget from admission to completion.
+  Requests whose budget is already spent (``<= 0``) are *rejected at
+  admission* (they could only waste shard time); admitted deadlines order
+  the window earliest-deadline-first, and every deadlined request is scored
+  met/missed on completion.
+* ``tenant`` — the fair-share accounting bucket.  Among requests of equal
+  deadline class, tenants that have consumed less modeled backend time so
+  far go first, so one chatty tenant cannot starve the rest.  Modeled
+  (simulated) seconds — not host wall clock — are the currency, which keeps
+  the ordering deterministic for a replayed stream.
+
+Ordering key per window: ``(deadline, tenant seconds served, -priority,
+submission index)`` — the engine's priority policy extended, with the same
+stable submission-index tie-break the scheduler satellite fixed.
+
+Like every scheduling layer in this repo, QoS may change *which order* and
+*whether* (admission) requests run — never what an admitted request
+computes; ``tests/properties/test_prop_cluster.py`` holds the line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["QoSScheduler", "TenantAccount"]
+
+
+@dataclass
+class TenantAccount:
+    """Accumulated per-tenant serving behaviour."""
+
+    requests: int = 0
+    rejected: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    modeled_seconds: float = 0.0  # simulated backend time consumed
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "modeled_seconds": self.modeled_seconds,
+        }
+
+
+class QoSScheduler:
+    """Deadline-aware admission + tenant-fair window ordering."""
+
+    def __init__(self) -> None:
+        self.tenants: dict[str, TenantAccount] = {}
+
+    def account(self, tenant: str) -> TenantAccount:
+        return self.tenants.setdefault(tenant, TenantAccount())
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, request) -> str | None:
+        """``None`` to admit, else the rejection reason (recorded)."""
+        acct = self.account(request.tenant)
+        acct.requests += 1
+        if request.deadline_ms is not None and request.deadline_ms <= 0:
+            acct.rejected += 1
+            return (
+                f"rejected at admission: deadline budget "
+                f"{request.deadline_ms:g} ms already spent"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Window ordering
+    # ------------------------------------------------------------------
+
+    def order(self, requests, indices) -> list[int]:
+        """Dispatch order for the admitted ``indices`` into ``requests``.
+
+        Tenant fair-share balances are frozen at window entry, so the sort
+        key is total (no re-sorting mid-window) and the result is a plain
+        deterministic permutation.
+        """
+        served = {t: acct.modeled_seconds for t, acct in self.tenants.items()}
+
+        def key(i):
+            req = requests[i]
+            deadline = req.deadline_ms if req.deadline_ms is not None else math.inf
+            return (deadline, served.get(req.tenant, 0.0), -req.priority, i)
+
+        return sorted(indices, key=key)
+
+    # ------------------------------------------------------------------
+    # Completion accounting
+    # ------------------------------------------------------------------
+
+    def record(self, request, elapsed_seconds: float, modeled_seconds: float):
+        """Score one completed request; returns met/missed (or ``None``)."""
+        acct = self.account(request.tenant)
+        acct.modeled_seconds += modeled_seconds
+        if request.deadline_ms is None:
+            return None
+        met = elapsed_seconds * 1e3 <= request.deadline_ms
+        if met:
+            acct.deadline_met += 1
+        else:
+            acct.deadline_missed += 1
+        return met
+
+    def summary(self) -> dict:
+        return {tenant: acct.summary() for tenant, acct in sorted(self.tenants.items())}

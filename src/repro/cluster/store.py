@@ -1,0 +1,172 @@
+"""The cluster's shared L2 map store, with a disk-persistence spill.
+
+Every shard keeps a private L1 :class:`~repro.engine.map_cache.MapCache`;
+behind all of them sits one :class:`SharedMapStore` — the same bounded
+content-addressed LRU, but shared across shards (a mapping table computed by
+shard 0 is a hit for shard 3) and optionally backed by a cache directory on
+disk so repeated CLI invocations warm-start.
+
+Disk layout is one file per entry, named by the hex of the existing BLAKE2b
+content digest (``<digest>.map``), holding a pickled mapping value (ndarray,
+MapTable, or tuple of them).  Lookups that miss in memory probe the
+directory lazily, so a freshly constructed store serves persisted entries on
+its very first request; stores created with ``write_through=True`` (the
+default) spill each insert as it happens, making an explicit :meth:`save`
+unnecessary in the common path.  Memory eviction never deletes spilled
+files — disk *is* the capacity overflow tier.
+
+Corrupt or unreadable spill files are treated as misses (counted in
+``disk_errors``), never as failures: the store is a cache, and the contract
+everywhere in this repo is that caching may change wall-clock only, never a
+result.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+
+from ..engine.map_cache import MapCache
+
+__all__ = ["SharedMapStore"]
+
+_SUFFIX = ".map"
+
+
+class SharedMapStore(MapCache):
+    """Shared, disk-spillable second cache tier (``MapCache`` protocol).
+
+    Parameters
+    ----------
+    max_entries / max_bytes:
+        In-memory bounds, inherited from :class:`MapCache`; defaults are
+        larger because one store backs every shard.
+    cache_dir:
+        Directory for the persistence spill, or ``None`` for a purely
+        in-memory L2.  Created on first write.
+    write_through:
+        Spill every insert immediately (default).  With ``False``, disk is
+        only written by an explicit :meth:`save`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        max_bytes: int = 1024 * 1024 * 1024,
+        cache_dir: str | os.PathLike | None = None,
+        write_through: bool = True,
+    ) -> None:
+        super().__init__(max_entries=max_entries, max_bytes=max_bytes)
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        self.write_through = write_through
+        # Disk-tier counters live in the stats object's `extra` slot so they
+        # appear in every snapshot, including nested tier snapshots taken by
+        # TieredLookup.
+        self.stats().extra.update(
+            {"disk_hits": 0, "disk_errors": 0, "persistent": self.cache_dir is not None}
+        )
+
+    @property
+    def disk_hits(self) -> int:
+        return self.stats().extra["disk_hits"]
+
+    @property
+    def disk_errors(self) -> int:
+        return self.stats().extra["disk_errors"]
+
+    # ------------------------------------------------------------------
+    # Disk spill
+    # ------------------------------------------------------------------
+
+    def _path(self, key: bytes, cache_dir: pathlib.Path | None = None) -> pathlib.Path:
+        base = cache_dir if cache_dir is not None else self.cache_dir
+        return base / (key.hex() + _SUFFIX)
+
+    def _write_entry(self, key: bytes, value, cache_dir: pathlib.Path) -> None:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key, cache_dir)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: a reader never sees a partial file
+
+    def _read_entry(self, key: bytes):
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            self.stats().extra["disk_errors"] += 1
+            return None
+
+    # ------------------------------------------------------------------
+    # MapCache protocol, extended with the disk tier
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes, op: str = "?"):
+        stats = self.stats()
+        eviction_misses_before = stats.eviction_misses
+        value = super().get(key, op)
+        if value is not None or self.cache_dir is None:
+            return value
+        value = self._read_entry(key)
+        if value is None:
+            return None
+        # Disk hit: promote into memory (no re-spill) and repair the
+        # counters — super().get already recorded a miss (and, for a
+        # memory-evicted key, an eviction miss) for this lookup.
+        stats.extra["disk_hits"] += 1
+        stats.misses -= 1
+        stats.by_op[op]["misses"] -= 1
+        stats.eviction_misses = eviction_misses_before
+        stats._count(op, hit=True)
+        super().put(key, value, op)
+        return value
+
+    def put(self, key: bytes, value, op: str = "?") -> None:
+        super().put(key, value, op)
+        if self.cache_dir is not None and self.write_through:
+            self._write_entry(key, value, self.cache_dir)
+
+    # ------------------------------------------------------------------
+    # Whole-store persistence
+    # ------------------------------------------------------------------
+
+    def save(self, cache_dir: str | os.PathLike | None = None) -> int:
+        """Spill every in-memory entry; returns the number written."""
+        base = pathlib.Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if base is None:
+            raise ValueError("no cache_dir configured and none given to save()")
+        written = 0
+        for key, value in self._entries.items():
+            self._write_entry(key, value, base)
+            written += 1
+        return written
+
+    def load(self, cache_dir: str | os.PathLike | None = None) -> int:
+        """Bulk-load every spilled entry into memory; returns the count.
+
+        Lazy per-key probing (see :meth:`get`) makes this optional for
+        correctness — it exists for benchmarks that want a fully warm
+        store up front.  Unreadable files are skipped (``disk_errors``).
+        """
+        base = pathlib.Path(cache_dir) if cache_dir is not None else self.cache_dir
+        if base is None:
+            raise ValueError("no cache_dir configured and none given to load()")
+        loaded = 0
+        if not base.is_dir():
+            return loaded
+        for path in sorted(base.glob(f"*{_SUFFIX}")):
+            try:
+                key = bytes.fromhex(path.stem)
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except Exception:
+                self.stats().extra["disk_errors"] += 1
+                continue
+            MapCache.put(self, key, value)  # no re-spill of what disk already has
+            loaded += 1
+        return loaded

@@ -1,0 +1,134 @@
+"""Workload construction: request files and synthetic streams.
+
+The serving CLIs accept their traffic two ways:
+
+* ``--request-file`` — JSON Lines, one request object per line.  The only
+  required key is ``benchmark``; ``scale``, ``seed``, ``priority``,
+  ``tag``, ``tenant`` and ``deadline_ms`` are optional and default exactly
+  as :class:`~repro.engine.SimRequest` does.  Blank lines and ``#``
+  comments are allowed.  Anything else — unparseable JSON, a non-object
+  line, unknown keys, wrong types, an unknown benchmark — raises
+  :class:`WorkloadError` naming the line, which the CLI turns into a
+  nonzero exit with that message.
+* synthetic — :func:`synthetic_stream` cycles benchmarks, a bounded seed
+  pool (so the stream contains the repeated geometry real traffic has),
+  and optional tenant/deadline rotation for exercising the QoS layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..engine.engine import SimRequest
+from ..nn.models.registry import BENCHMARKS, MINI_MINKUNET
+
+__all__ = ["WorkloadError", "known_benchmarks", "load_requests", "synthetic_stream"]
+
+_FIELDS = {
+    "benchmark": str,
+    "scale": (int, float),
+    "seed": int,
+    "priority": int,
+    "tag": str,
+    "tenant": str,
+    "deadline_ms": (int, float, type(None)),
+}
+
+
+class WorkloadError(ValueError):
+    """A request file (or stream spec) that cannot be turned into requests."""
+
+
+def known_benchmarks() -> set[str]:
+    return {*BENCHMARKS, MINI_MINKUNET.notation}
+
+
+def _request_from_obj(obj, where: str) -> SimRequest:
+    if not isinstance(obj, dict):
+        raise WorkloadError(
+            f"{where}: expected a JSON object per line, got {type(obj).__name__}"
+        )
+    unknown = sorted(set(obj) - set(_FIELDS))
+    if unknown:
+        raise WorkloadError(
+            f"{where}: unknown request field(s) {unknown}; "
+            f"known: {sorted(_FIELDS)}"
+        )
+    if "benchmark" not in obj:
+        raise WorkloadError(f"{where}: missing required field 'benchmark'")
+    for name, types in _FIELDS.items():
+        if name not in obj:
+            continue
+        # bool is a subclass of int; JSON true/false in a numeric field is
+        # malformed, not scale=1.0.
+        bad_bool = isinstance(obj[name], bool) and types is not str
+        if bad_bool or not isinstance(obj[name], types):
+            wanted = "/".join(
+                t.__name__ for t in (types if isinstance(types, tuple) else (types,))
+            )
+            raise WorkloadError(
+                f"{where}: field {name!r} has type "
+                f"{type(obj[name]).__name__}, expected {wanted}"
+            )
+    if obj["benchmark"] not in known_benchmarks():
+        raise WorkloadError(
+            f"{where}: unknown benchmark {obj['benchmark']!r}; "
+            f"known: {sorted(known_benchmarks())}"
+        )
+    return SimRequest(**obj)
+
+
+def load_requests(path: str | os.PathLike) -> list[SimRequest]:
+    """Parse a JSON Lines request file into :class:`SimRequest`\\ s."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise WorkloadError(f"cannot read request file {path}: {exc}") from exc
+    requests = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"{where}: malformed JSON ({exc.msg})") from exc
+        requests.append(_request_from_obj(obj, where))
+    if not requests:
+        raise WorkloadError(f"request file {path} contains no requests")
+    return requests
+
+
+def synthetic_stream(
+    benchmarks,
+    n_requests: int,
+    scale: float = 0.25,
+    seed_pool: int = 3,
+    tenant_pool: int = 1,
+    deadline_ms: float | None = None,
+):
+    """Generate a deterministic mixed request stream.
+
+    Benchmarks, seeds (``seed_pool`` distinct clouds — repeats feed the
+    caches), priorities (0..2) and tenants (``tenantA``, ``tenantB``, …)
+    all cycle; ``deadline_ms`` stamps every request with the same budget
+    when given.
+    """
+    if seed_pool < 1:
+        raise WorkloadError(f"seed_pool must be >= 1, got {seed_pool}")
+    if tenant_pool < 1:
+        raise WorkloadError(f"tenant_pool must be >= 1, got {tenant_pool}")
+    benchmarks = list(benchmarks)
+    for i in range(n_requests):
+        yield SimRequest(
+            benchmark=benchmarks[i % len(benchmarks)],
+            scale=scale,
+            seed=i % seed_pool,
+            priority=i % 3,
+            tag=f"req{i}",
+            tenant=f"tenant{chr(ord('A') + i % tenant_pool)}",
+            deadline_ms=deadline_ms,
+        )

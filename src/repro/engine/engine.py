@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from ..baselines.mesorasi import UnsupportedModelError
 from ..core.report import PerfReport
-from ..mapping.hooks import use_map_cache
+from ..mapping.hooks import TieredLookup, use_map_cache
 from ..nn.models.registry import run_benchmark
 from ..nn.trace import Trace
 from .backends import resolve_backend
@@ -51,6 +51,12 @@ class SimRequest:
     cloud and model weights, so equal keys are the engine's unit of reuse.
     ``priority`` matters only under the ``priority`` scheduling policy;
     ``tag`` is free-form caller context echoed back on the result.
+
+    ``tenant`` and ``deadline_ms`` are consumed by the cluster's QoS layer
+    (:mod:`repro.cluster.qos`): ``deadline_ms`` is a wall-clock budget from
+    admission to completion, ``tenant`` the fair-share accounting bucket.
+    A bare engine ignores both — they never reach the workload key, so
+    they cannot change a simulated result.
     """
 
     benchmark: str
@@ -58,6 +64,8 @@ class SimRequest:
     seed: int = 0
     priority: int = 0
     tag: str = ""
+    tenant: str = ""
+    deadline_ms: float | None = None
 
     @property
     def workload_key(self) -> tuple:
@@ -77,6 +85,8 @@ class SimResult:
     map_cache_hits: int = 0  # op-level hits during this request's build
     map_cache_misses: int = 0
     wall_seconds: float = 0.0
+    shard: int | None = None  # set by EngineCluster: which shard executed
+    deadline_met: bool | None = None  # set by the QoS layer when a deadline was given
 
     def report(self, backend: str | None = None) -> PerfReport:
         """The report of ``backend``.
@@ -137,6 +147,12 @@ class SimulationEngine:
     map_cache:
         Op-level cache instance, or ``None`` to disable op memoization.
         Defaults to a fresh :class:`MapCache`.
+    l2:
+        Optional shared second cache tier (e.g. the cluster's
+        :class:`~repro.cluster.store.SharedMapStore`).  When given, trace
+        builds run against a :class:`~repro.mapping.hooks.TieredLookup`
+        chain ``[map_cache, l2]`` — the engine's private L1 backed by the
+        injected shared store — instead of the L1 alone.
     reuse_traces:
         Enable the request-level trace/report memo.
     """
@@ -146,6 +162,7 @@ class SimulationEngine:
         backends=("pointacc",),
         policy: str = "fifo",
         map_cache: MapCache | None | str = "auto",
+        l2=None,
         reuse_traces: bool = True,
     ) -> None:
         if policy not in POLICIES:
@@ -155,6 +172,12 @@ class SimulationEngine:
         self.policy = policy
         self.backends = {name: resolve_backend(name) for name in backends}
         self.map_cache = MapCache() if map_cache == "auto" else map_cache
+        self.l2 = l2
+        tiers = [t for t in (self.map_cache, l2) if t is not None]
+        if len(tiers) > 1:
+            self._lookup = TieredLookup(tiers)
+        else:
+            self._lookup = tiers[0] if tiers else None
         self.reuse_traces = reuse_traces
         self._traces: dict[tuple, Trace] = {}
         self._reports: dict[tuple, PerfReport] = {}
@@ -172,10 +195,10 @@ class SimulationEngine:
         if self.reuse_traces and key in self._traces:
             self._stats.trace_reuses += 1
             return self._traces[key], True, 0, 0
-        if self.map_cache is not None:
-            ctx = use_map_cache(self.map_cache)
-            hits0 = self.map_cache.stats.hits
-            misses0 = self.map_cache.stats.misses
+        if self._lookup is not None:
+            ctx = use_map_cache(self._lookup)
+            hits0 = self._lookup.stats().hits
+            misses0 = self._lookup.stats().misses
         else:
             ctx = nullcontext()
             hits0 = misses0 = 0
@@ -183,9 +206,9 @@ class SimulationEngine:
             trace, _ = run_benchmark(
                 request.benchmark, scale=request.scale, seed=request.seed
             )
-        if self.map_cache is not None:
-            hits = self.map_cache.stats.hits - hits0
-            misses = self.map_cache.stats.misses - misses0
+        if self._lookup is not None:
+            hits = self._lookup.stats().hits - hits0
+            misses = self._lookup.stats().misses - misses0
         else:
             hits = misses = 0
         trace.meta["map_cache"] = {"hits": hits, "misses": misses}
@@ -269,9 +292,13 @@ class SimulationEngine:
             self._served += len(chunk)
 
     def stats(self) -> EngineStats:
-        """Aggregate stats; the map-cache snapshot is taken at call time."""
-        if self.map_cache is not None:
-            self._stats.map_cache = self.map_cache.stats.snapshot()
+        """Aggregate stats; the map-cache snapshot is taken at call time.
+
+        With an injected L2 the snapshot is the tiered chain's: top-level
+        hits/misses plus one nested snapshot per tier.
+        """
+        if self._lookup is not None:
+            self._stats.map_cache = self._lookup.stats().snapshot()
         return self._stats
 
 

@@ -16,8 +16,16 @@ Cached values are never handed out by reference: hits return a deep copy of
 the stored arrays (`owned arrays`), so a caller mutating its result can
 never corrupt later hits.  This mirrors the contract the reference mapping
 ops themselves guarantee (see ``tests/mapping/test_boundaries.py``).
-Hit/miss bookkeeping is observable through :class:`MapCacheStats`; a hit
+Hit/miss bookkeeping is observable through :meth:`MapCache.stats`; a hit
 must never change a simulation *result*, only its wall-clock cost.
+
+The cache exposes two surfaces:
+
+* :meth:`MapCache.memoize` — the one-shot lookup-or-compute path the
+  mapping hooks call;
+* :meth:`MapCache.get` / :meth:`MapCache.put` keyed by the BLAKE2b digest —
+  the tier primitives :class:`repro.mapping.hooks.TieredLookup` and the
+  cluster's shared L2 store compose over.
 """
 
 from __future__ import annotations
@@ -31,6 +39,9 @@ import numpy as np
 from ..mapping.maps import MapTable
 
 __all__ = ["MapCache", "MapCacheStats"]
+
+#: Bound on the remembered-evicted-digest set (see MapCache._evicted).
+_EVICTED_MEMORY = 1 << 16
 
 
 def _copy_value(value):
@@ -61,13 +72,21 @@ def _value_bytes(value) -> int:
 
 @dataclass
 class MapCacheStats:
-    """Observable cache behaviour; aggregated and per-op."""
+    """Observable cache behaviour; aggregated and per-op.
+
+    ``eviction_misses`` counts the subset of ``misses`` whose key was
+    previously resident but got evicted — a capacity problem, not cold
+    traffic.  Before this split an undersized cache and a cold cache were
+    indistinguishable in ``EngineStats``.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    eviction_misses: int = 0
     stored_bytes: int = 0
     by_op: dict = field(default_factory=dict)  # op -> {"hits": int, "misses": int}
+    extra: dict = field(default_factory=dict)  # subclass counters (e.g. disk tier)
 
     @property
     def lookups(self) -> int:
@@ -86,15 +105,18 @@ class MapCacheStats:
             self.misses += 1
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
+            "eviction_misses": self.eviction_misses,
             "stored_mb": self.stored_bytes / 1e6,
             "by_op": {op: dict(c) for op, c in self.by_op.items()},
         }
+        out.update(self.extra)
+        return out
 
 
 class MapCache:
@@ -113,11 +135,18 @@ class MapCache:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.stats = MapCacheStats()
+        self._stats = MapCacheStats()
         self._entries: OrderedDict[bytes, object] = OrderedDict()
+        # Digests seen leaving the cache, so a later miss on one of them can
+        # be attributed to capacity (bounded: oldest forgotten first).
+        self._evicted: OrderedDict[bytes, None] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> MapCacheStats:
+        """Live counters (same protocol as ``SimulationEngine.stats()``)."""
+        return self._stats
 
     @staticmethod
     def key(op: str, arrays, params: dict) -> bytes:
@@ -134,6 +163,33 @@ class MapCache:
             h.update(repr(params[name]).encode())
         return h.digest()
 
+    # ------------------------------------------------------------------
+    # Tier primitives: digest-keyed lookup/insert, used by TieredLookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes, op: str = "?"):
+        """Owned copy of the entry under ``key``, or ``None`` (counted)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._stats._count(op, hit=True)
+            return _copy_value(entry)
+        self._stats._count(op, hit=False)
+        if key in self._evicted:
+            self._stats.eviction_misses += 1
+        return None
+
+    def put(self, key: bytes, value, op: str = "?") -> None:
+        """Store a private copy of ``value`` under ``key`` (not counted)."""
+        stored = _copy_value(value)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._stats.stored_bytes -= _value_bytes(previous)
+        self._entries[key] = stored
+        self._stats.stored_bytes += _value_bytes(stored)
+        self._evicted.pop(key, None)
+        self._evict()
+
     def memoize(self, op: str, arrays, params: dict, compute):
         """Return the cached result of ``compute()`` for this content key.
 
@@ -142,27 +198,29 @@ class MapCache:
         neither the caller's result nor the cache entry can alias the other.
         """
         key = self.key(op, arrays, params)
-        entry = self._entries.get(key)
+        entry = self.get(key, op)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats._count(op, hit=True)
-            return _copy_value(entry)
-        self.stats._count(op, hit=False)
+            return entry
         value = compute()
-        stored = _copy_value(value)
-        self._entries[key] = stored
-        self.stats.stored_bytes += _value_bytes(stored)
-        self._evict()
+        self.put(key, value, op)
         return value
 
     def _evict(self) -> None:
         while len(self._entries) > self.max_entries or (
-            self.stats.stored_bytes > self.max_bytes and len(self._entries) > 1
+            self._stats.stored_bytes > self.max_bytes and len(self._entries) > 1
         ):
-            _, dropped = self._entries.popitem(last=False)
-            self.stats.stored_bytes -= _value_bytes(dropped)
-            self.stats.evictions += 1
+            key, dropped = self._entries.popitem(last=False)
+            self._stats.stored_bytes -= _value_bytes(dropped)
+            self._stats.evictions += 1
+            self._evicted[key] = None
+            while len(self._evicted) > _EVICTED_MEMORY:
+                self._evicted.popitem(last=False)
 
-    def clear(self) -> None:
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry; optionally zero the counters too."""
         self._entries.clear()
-        self.stats.stored_bytes = 0
+        self._evicted.clear()
+        if reset_stats:
+            self._stats = MapCacheStats()
+        else:
+            self._stats.stored_bytes = 0

@@ -54,10 +54,17 @@ def _priority(requests) -> list[int]:
 
 
 def _bucketed(requests) -> list[int]:
+    # Sort key: (size bucket, normalized workload key, submission index).
+    # The workload key (not the raw request fields) keeps equal workloads
+    # adjacent even when callers mix representations (scale=1 vs 1.0); the
+    # trailing submission index is the explicit tie-break, so requests that
+    # compare equal on everything else always keep arrival order — sorted()
+    # never has to compare beyond the tuple, and the order is deterministic
+    # for any input.
     def key(i):
         req = requests[i]
         bucket = int(math.log2(estimate_points(req.benchmark, req.scale)))
-        return (bucket, req.benchmark, req.scale, req.seed, i)
+        return (bucket, req.workload_key, i)
 
     return sorted(range(len(requests)), key=key)
 

@@ -2,7 +2,7 @@
 
 from .ball_query import ball_query_indices, ball_query_maps
 from .fps import farthest_point_sampling, random_sampling
-from .hooks import active_cache, use_map_cache
+from .hooks import TieredLookup, TieredStats, active_cache, use_map_cache
 from .kernel_map import (
     kernel_map,
     kernel_map_bruteforce,
@@ -14,6 +14,8 @@ from .maps import MapTable
 
 __all__ = [
     "MapTable",
+    "TieredLookup",
+    "TieredStats",
     "active_cache",
     "use_map_cache",
     "ball_query_indices",

@@ -14,15 +14,94 @@ installed (see :class:`repro.engine.MapCache`).  When no cache is active —
 the default, and the state every test suite starts from — the mapping ops
 run exactly as before; results are bit-identical either way, which the
 property suite (`tests/properties/test_prop_engine.py`) enforces.
+
+Tiered lookup
+-------------
+:class:`TieredLookup` chains several caches behind the same ``memoize``
+facade: probe the first tier (a shard's private L1), then each lower tier
+(the cluster-shared L2 store, which itself may spill to disk), and on a hit
+promote the value into every tier above it.  A full miss computes once and
+populates every tier.  Passing a list/tuple to :func:`use_map_cache`
+installs the chain — the tiered path the cluster's shards run on.  Tiers
+are duck-typed: anything with ``key`` / ``get`` / ``put`` / ``stats()``
+(the :class:`~repro.engine.map_cache.MapCache` surface) works, so this
+module needs no imports from the engine.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
-__all__ = ["active_cache", "use_map_cache"]
+__all__ = ["TieredLookup", "TieredStats", "active_cache", "use_map_cache"]
 
 _ACTIVE = None
+
+
+class TieredStats:
+    """Lookup-level counters for a :class:`TieredLookup`.
+
+    ``hits``/``misses`` describe the chain as a whole (a hit in *any* tier
+    is one chain hit); ``snapshot()`` additionally carries each tier's own
+    counters so L1 vs L2 vs disk behaviour stays distinguishable.
+    """
+
+    def __init__(self, tiers) -> None:
+        self._tiers = tiers
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "tiers": [tier.stats().snapshot() for tier in self._tiers],
+        }
+
+
+class TieredLookup:
+    """Chain of content-addressed cache tiers behind one ``memoize``.
+
+    The first tier is the fastest/most private (a shard's L1), later tiers
+    are progressively more shared (the cluster L2, its disk spill).  Hits
+    are promoted upward so hot entries migrate toward the front.  Copy
+    ownership is preserved: tier ``get``/``put`` copy on both sides, so a
+    caller can never alias a stored entry.
+    """
+
+    def __init__(self, tiers) -> None:
+        tiers = [t for t in tiers if t is not None]
+        if not tiers:
+            raise ValueError("TieredLookup needs at least one tier")
+        self.tiers = tiers
+        self._stats = TieredStats(tiers)
+
+    def stats(self) -> TieredStats:
+        return self._stats
+
+    def memoize(self, op: str, arrays, params: dict, compute):
+        key = self.tiers[0].key(op, arrays, params)
+        for depth, tier in enumerate(self.tiers):
+            value = tier.get(key, op)
+            if value is not None:
+                self._stats.hits += 1
+                for upper in self.tiers[:depth]:
+                    upper.put(key, value, op)
+                return value
+        self._stats.misses += 1
+        value = compute()
+        for tier in self.tiers:
+            tier.put(key, value, op)
+        return value
 
 
 def active_cache():
@@ -34,11 +113,15 @@ def active_cache():
 def use_map_cache(cache):
     """Install ``cache`` as the active map cache for the enclosed block.
 
-    Nests correctly (the previous cache is restored on exit) and is
-    exception-safe.  Passing ``None`` disables memoization inside the block,
-    which the engine uses to build deliberately cold baselines.
+    ``cache`` may be a single cache, or a list/tuple of tiers which is
+    wrapped in a :class:`TieredLookup` (first element = L1).  Nests
+    correctly (the previous cache is restored on exit) and is
+    exception-safe.  Passing ``None`` disables memoization inside the
+    block, which the engine uses to build deliberately cold baselines.
     """
     global _ACTIVE
+    if isinstance(cache, (list, tuple)):
+        cache = TieredLookup(cache)
     previous = _ACTIVE
     _ACTIVE = cache
     try:

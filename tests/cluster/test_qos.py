@@ -1,0 +1,76 @@
+"""QoS layer: admission, EDF + fair-share ordering, deadline accounting."""
+
+from repro.cluster import QoSScheduler
+from repro.engine import SimRequest
+
+
+def _req(tenant="t", deadline=None, priority=0):
+    return SimRequest("PointNet++(c)", scale=0.1, tenant=tenant,
+                      deadline_ms=deadline, priority=priority)
+
+
+class TestAdmission:
+    def test_no_deadline_admits(self):
+        assert QoSScheduler().admit(_req()) is None
+
+    def test_positive_budget_admits(self):
+        assert QoSScheduler().admit(_req(deadline=5.0)) is None
+
+    def test_spent_budget_rejects_with_reason(self):
+        qos = QoSScheduler()
+        reason = qos.admit(_req(deadline=0.0))
+        assert reason is not None and "deadline" in reason
+        assert qos.tenants["t"].rejected == 1
+
+    def test_negative_budget_rejects(self):
+        assert QoSScheduler().admit(_req(deadline=-3)) is not None
+
+
+class TestOrdering:
+    def test_earliest_deadline_first(self):
+        qos = QoSScheduler()
+        reqs = [_req(deadline=50), _req(deadline=5), _req(deadline=None)]
+        assert qos.order(reqs, [0, 1, 2]) == [1, 0, 2]
+
+    def test_fair_share_pushes_heavy_tenant_back(self):
+        qos = QoSScheduler()
+        qos.record(_req(tenant="hog"), elapsed_seconds=0.0, modeled_seconds=9.0)
+        reqs = [_req(tenant="hog"), _req(tenant="quiet")]
+        assert qos.order(reqs, [0, 1]) == [1, 0]
+
+    def test_priority_breaks_remaining_ties(self):
+        qos = QoSScheduler()
+        reqs = [_req(priority=0), _req(priority=5)]
+        assert qos.order(reqs, [0, 1]) == [1, 0]
+
+    def test_equal_everything_keeps_submission_order(self):
+        qos = QoSScheduler()
+        reqs = [_req(), _req(), _req()]
+        assert qos.order(reqs, [0, 1, 2]) == [0, 1, 2]
+
+    def test_deadlines_outrank_priority(self):
+        qos = QoSScheduler()
+        reqs = [_req(priority=9), _req(deadline=10, priority=0)]
+        assert qos.order(reqs, [0, 1]) == [1, 0]
+
+
+class TestAccounting:
+    def test_deadline_scored_on_completion(self):
+        qos = QoSScheduler()
+        assert qos.record(_req(deadline=1000), 0.5, 0.0) is True
+        assert qos.record(_req(deadline=1000), 1.5, 0.0) is False
+        acct = qos.tenants["t"]
+        assert acct.deadline_met == 1 and acct.deadline_missed == 1
+
+    def test_no_deadline_not_scored(self):
+        qos = QoSScheduler()
+        assert qos.record(_req(), 10.0, 0.1) is None
+        acct = qos.tenants["t"]
+        assert acct.deadline_met == acct.deadline_missed == 0
+        assert acct.modeled_seconds == 0.1
+
+    def test_summary_sorted_by_tenant(self):
+        qos = QoSScheduler()
+        for tenant in ("zeta", "alpha"):
+            qos.admit(_req(tenant=tenant))
+        assert list(qos.summary()) == ["alpha", "zeta"]

@@ -1,0 +1,76 @@
+"""Shard routing: determinism, affinity, balance."""
+
+import pytest
+
+from repro.cluster import ROUTING_MODES, ShardRouter
+from repro.engine import SimRequest
+
+
+def _mixed(n=12):
+    return [
+        SimRequest("PointNet++(c)" if i % 2 else "DGCNN", scale=0.1, seed=i % 3)
+        for i in range(n)
+    ]
+
+
+class TestAffinity:
+    def test_equal_workloads_colocate(self):
+        router = ShardRouter(4, mode="affinity")
+        a = SimRequest("PointNet++(c)", scale=0.1, seed=0, priority=3)
+        b = SimRequest("PointNet++(c)", scale=0.1, seed=0, tag="other")
+        assert router.route(a) == router.route(b)  # priority/tag irrelevant
+
+    def test_routing_is_content_hash_not_python_hash(self):
+        # Same placement for every router instance (and across processes:
+        # BLAKE2b of the workload key, not randomized str hashing).
+        placements = [
+            [ShardRouter(4).route(r) for r in _mixed()] for _ in range(2)
+        ]
+        assert placements[0] == placements[1]
+
+    def test_distinct_seeds_can_land_apart(self):
+        router = ShardRouter(4, mode="affinity")
+        shards = {router.route(SimRequest("PointNet++(c)", scale=0.1, seed=s))
+                  for s in range(16)}
+        assert len(shards) > 1
+
+    def test_counts_track_placements(self):
+        router = ShardRouter(2, mode="affinity")
+        for r in _mixed(6):
+            router.route(r)
+        snap = router.snapshot()
+        assert sum(snap["counts"]) == 6
+        assert snap["mode"] == "affinity"
+
+
+class TestLeastLoaded:
+    def test_balances_equal_work(self):
+        router = ShardRouter(3, mode="least-loaded")
+        reqs = [SimRequest("PointNet++(c)", scale=0.1, seed=i) for i in range(9)]
+        for r in reqs:
+            router.route(r)
+        assert router.counts == [3, 3, 3]
+
+    def test_first_request_goes_to_shard_zero(self):
+        router = ShardRouter(4, mode="least-loaded")
+        assert router.route(SimRequest("DGCNN", scale=0.1)) == 0
+
+    def test_bigger_clouds_weigh_more(self):
+        router = ShardRouter(2, mode="least-loaded")
+        router.route(SimRequest("MinkNet(o)", scale=0.2))   # big -> shard 0
+        nxt = [router.route(SimRequest("PointNet++(c)", scale=0.1, seed=s))
+               for s in range(2)]
+        assert nxt[0] == 1  # the small ones pile onto the idle shard first
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, mode="round-robin")
+
+    def test_modes_constant(self):
+        assert set(ROUTING_MODES) == {"affinity", "least-loaded"}

@@ -1,0 +1,173 @@
+"""SharedMapStore: L2 semantics, disk spill, persistence, corruption."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster import SharedMapStore
+from repro.engine import MapCache
+from repro.mapping import TieredLookup, farthest_point_sampling, use_map_cache
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """Persistence spill directory, auto-removed by pytest's tmp_path."""
+    return tmp_path / "map-store"
+
+
+def _fill(store, n=3):
+    keys = []
+    for i in range(n):
+        key = store.key("op", (np.full(4, i),), {"i": i})
+        store.put(key, np.arange(8) + i, "op")
+        keys.append(key)
+    return keys
+
+
+class TestMemoryTier:
+    def test_is_a_map_cache(self):
+        store = SharedMapStore()
+        assert isinstance(store, MapCache)
+        with use_map_cache(store):
+            pts = np.random.default_rng(0).normal(size=(32, 3))
+            a = farthest_point_sampling(pts, 4)
+            b = farthest_point_sampling(pts, 4)
+        assert np.array_equal(a, b)
+        assert store.stats().hits == 1
+
+    def test_no_disk_without_cache_dir(self, tmp_path):
+        store = SharedMapStore()
+        _fill(store)
+        assert list(tmp_path.iterdir()) == []
+        with pytest.raises(ValueError):
+            store.save()
+
+
+class TestDiskSpill:
+    def test_write_through_persists_each_put(self, cache_dir):
+        store = SharedMapStore(cache_dir=cache_dir)
+        keys = _fill(store)
+        files = sorted(p.name for p in cache_dir.glob("*.map"))
+        assert files == sorted(k.hex() + ".map" for k in keys)
+
+    def test_lazy_probe_warm_starts_fresh_store(self, cache_dir):
+        keys = _fill(SharedMapStore(cache_dir=cache_dir))
+        fresh = SharedMapStore(cache_dir=cache_dir)
+        value = fresh.get(keys[0], "op")
+        assert np.array_equal(value, np.arange(8))
+        assert fresh.disk_hits == 1
+        assert fresh.stats().hits == 1  # a disk hit is a hit, not a miss
+        # promoted: second get is a pure memory hit
+        fresh.get(keys[0], "op")
+        assert fresh.disk_hits == 1
+
+    def test_save_and_bulk_load_round_trip(self, cache_dir):
+        store = SharedMapStore(cache_dir=None, write_through=False)
+        keys = _fill(store, n=4)
+        assert store.save(cache_dir) == 4
+        warm = SharedMapStore()
+        assert warm.load(cache_dir) == 4
+        for i, key in enumerate(keys):
+            assert np.array_equal(warm.get(key, "op"), np.arange(8) + i)
+
+    def test_load_missing_dir_is_empty(self, cache_dir):
+        assert SharedMapStore().load(cache_dir / "nope") == 0
+
+    def test_memory_eviction_keeps_disk(self, cache_dir):
+        store = SharedMapStore(max_entries=1, cache_dir=cache_dir)
+        keys = _fill(store)
+        assert len(store) == 1  # memory evicted down to the bound
+        assert len(list(cache_dir.glob("*.map"))) == 3  # disk kept everything
+        # the evicted entry comes back from disk, not recompute
+        assert np.array_equal(store.get(keys[0], "op"), np.arange(8))
+        assert store.disk_hits == 1
+        # regression: the disk hit repairs the eviction-miss count too —
+        # it was a spill hit, not a capacity problem
+        stats = store.stats()
+        assert stats.eviction_misses == 0
+        assert stats.eviction_misses <= stats.misses  # subset invariant
+
+    def test_corrupt_file_is_a_miss_not_a_failure(self, cache_dir):
+        store = SharedMapStore(cache_dir=cache_dir)
+        keys = _fill(store)
+        path = cache_dir / (keys[1].hex() + ".map")
+        path.write_bytes(b"not a pickle")
+        fresh = SharedMapStore(cache_dir=cache_dir)
+        assert fresh.get(keys[1], "op") is None
+        assert fresh.disk_errors == 1
+        # bulk load skips it but takes the healthy ones
+        warm = SharedMapStore()
+        assert warm.load(cache_dir) == 2
+
+    def test_load_skips_foreign_files(self, cache_dir):
+        _fill(SharedMapStore(cache_dir=cache_dir), n=2)
+        (cache_dir / "zz-not-hex.map").write_bytes(pickle.dumps(np.arange(2)))
+        warm = SharedMapStore()
+        assert warm.load(cache_dir) == 2
+        assert warm.disk_errors == 1
+
+    def test_snapshot_reports_disk_tier(self, cache_dir):
+        store = SharedMapStore(cache_dir=cache_dir)
+        snap = store.stats().snapshot()
+        assert snap["persistent"] is True
+        assert snap["disk_hits"] == 0
+
+
+class TestTieredLookup:
+    def _compute_counter(self):
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return np.arange(6)
+
+        return calls, compute
+
+    def test_l2_hit_promotes_into_l1(self):
+        l1, l2 = MapCache(), SharedMapStore()
+        tiered = TieredLookup([l1, l2])
+        calls, compute = self._compute_counter()
+        args = ("op", (np.arange(4),), {"k": 1})
+        tiered.memoize(*args, compute)          # full miss -> both tiers filled
+        assert calls["n"] == 1 and len(l1) == 1 and len(l2) == 1
+        l1.clear()
+        out = tiered.memoize(*args, compute)    # L1 miss, L2 hit
+        assert calls["n"] == 1
+        assert np.array_equal(out, np.arange(6))
+        assert len(l1) == 1                     # promoted back into L1
+        assert tiered.stats().hits == 1 and tiered.stats().misses == 1
+
+    def test_disk_hit_promotes_through_both_tiers(self, cache_dir):
+        seed = SharedMapStore(cache_dir=cache_dir)
+        key = seed.key("op", (np.arange(4),), {"k": 1})
+        seed.put(key, np.arange(6), "op")
+        l1, l2 = MapCache(), SharedMapStore(cache_dir=cache_dir)
+        tiered = TieredLookup([l1, l2])
+        calls, compute = self._compute_counter()
+        out = tiered.memoize("op", (np.arange(4),), {"k": 1}, compute)
+        assert calls["n"] == 0                  # served from disk
+        assert np.array_equal(out, np.arange(6))
+        assert l2.disk_hits == 1 and len(l1) == 1
+
+    def test_use_map_cache_accepts_tier_list(self):
+        l1, l2 = MapCache(), SharedMapStore()
+        pts = np.random.default_rng(1).normal(size=(24, 3))
+        with use_map_cache([l1, l2]) as installed:
+            farthest_point_sampling(pts, 4)
+        assert isinstance(installed, TieredLookup)
+        assert len(l1) == 1 and len(l2) == 1
+
+    def test_hit_returns_owned_arrays(self):
+        l1, l2 = MapCache(), SharedMapStore()
+        tiered = TieredLookup([l1, l2])
+        args = ("op", (np.arange(3),), {})
+        tiered.memoize(*args, lambda: np.zeros(4))
+        first = tiered.memoize(*args, lambda: np.zeros(4))
+        first[:] = -1  # vandalize
+        second = tiered.memoize(*args, lambda: np.zeros(4))
+        assert np.array_equal(second, np.zeros(4))
+
+    def test_rejects_empty_tier_list(self):
+        with pytest.raises(ValueError):
+            TieredLookup([None, None])

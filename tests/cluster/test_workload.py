@@ -1,0 +1,76 @@
+"""Workload construction: JSONL request files and the synthetic stream."""
+
+import pytest
+
+from repro.cluster import WorkloadError, load_requests, synthetic_stream
+from repro.engine import SimRequest
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "requests.jsonl"
+    path.write_text(text)
+    return path
+
+
+class TestLoadRequests:
+    def test_full_and_minimal_lines(self, tmp_path):
+        path = _write(tmp_path, "\n".join([
+            "# warm pool",
+            '{"benchmark": "PointNet++(c)"}',
+            "",
+            '{"benchmark": "DGCNN", "scale": 0.5, "seed": 2, "priority": 1,'
+            ' "tag": "x", "tenant": "acme", "deadline_ms": 40.5}',
+        ]))
+        reqs = load_requests(path)
+        assert reqs[0] == SimRequest("PointNet++(c)")
+        assert reqs[1] == SimRequest("DGCNN", scale=0.5, seed=2, priority=1,
+                                     tag="x", tenant="acme", deadline_ms=40.5)
+
+    def test_null_deadline_means_none(self, tmp_path):
+        path = _write(tmp_path,
+                      '{"benchmark": "PointNet", "deadline_ms": null}')
+        assert load_requests(path)[0].deadline_ms is None
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ('{"benchmark": "PointNet"', "malformed JSON"),
+        ('["PointNet"]', "expected a JSON object"),
+        ('{"scale": 0.5}', "missing required field 'benchmark'"),
+        ('{"benchmark": "AlexNet"}', "unknown benchmark"),
+        ('{"benchmark": "PointNet", "gpu": true}', "unknown request field"),
+        ('{"benchmark": "PointNet", "scale": "big"}', "field 'scale' has type"),
+        ('{"benchmark": "PointNet", "scale": true}', "field 'scale' has type"),
+        ('{"benchmark": "PointNet", "seed": false}', "field 'seed' has type"),
+    ])
+    def test_malformed_lines_name_the_line(self, tmp_path, payload, fragment):
+        path = _write(tmp_path, '{"benchmark": "PointNet"}\n' + payload)
+        with pytest.raises(WorkloadError) as err:
+            load_requests(path)
+        assert fragment in str(err.value)
+        assert ":2" in str(err.value)  # the offending line number
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            load_requests(tmp_path / "absent.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="no requests"):
+            load_requests(_write(tmp_path, "# only comments\n"))
+
+
+class TestSyntheticStream:
+    def test_cycles_everything(self):
+        reqs = list(synthetic_stream(["A-bench", "B-bench"], 6, scale=0.1,
+                                     seed_pool=2, tenant_pool=3,
+                                     deadline_ms=9.0))
+        assert len(reqs) == 6
+        assert [r.benchmark for r in reqs[:2]] == ["A-bench", "B-bench"]
+        assert {r.seed for r in reqs} == {0, 1}
+        assert {r.tenant for r in reqs} == {"tenantA", "tenantB", "tenantC"}
+        assert all(r.deadline_ms == 9.0 for r in reqs)
+        assert reqs[3].tag == "req3"
+
+    def test_rejects_bad_pools(self):
+        with pytest.raises(WorkloadError):
+            list(synthetic_stream(["A"], 2, seed_pool=0))
+        with pytest.raises(WorkloadError):
+            list(synthetic_stream(["A"], 2, tenant_pool=0))

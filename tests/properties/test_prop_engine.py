@@ -124,7 +124,7 @@ def test_fps_transparent_through_cache(points, n_samples):
     with use_map_cache(MapCache()) as cache:
         miss = farthest_point_sampling(points, n_samples)
         hit = farthest_point_sampling(points, n_samples)
-    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats().hits == 1 and cache.stats().misses == 1
     assert np.array_equal(plain, miss)
     assert np.array_equal(plain, hit)
     assert hit.dtype == plain.dtype
@@ -160,6 +160,6 @@ def test_kernel_map_transparent_and_algorithms_keyed_apart(in_coords, out_coords
             assert np.array_equal(ms.weight_idx, plain_ms.weight_idx)
             assert np.array_equal(hh.in_idx, plain_hash.in_idx)
             assert hh.as_set() == ms.as_set()
-    by_op = cache.stats.by_op
+    by_op = cache.stats().by_op
     assert by_op["kernel_map/mergesort"] == {"hits": 1, "misses": 1}
     assert by_op["kernel_map/hash"] == {"hits": 1, "misses": 1}

@@ -75,9 +75,9 @@ class TestCommands:
         assert "served 6 requests" in out
         assert "reuse" in out  # seed pool < requests => trace reuse happened
 
-    def test_serve_sim_unknown_benchmark(self):
-        with pytest.raises(SystemExit):
-            main(["serve-sim", "--benchmarks", "AlexNet"])
+    def test_serve_sim_unknown_benchmark(self, capsys):
+        assert main(["serve-sim", "--benchmarks", "AlexNet"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
 
     def test_bench_engine(self, capsys):
         code = main(["bench-engine", "--benchmarks", "PointNet++(c)",
@@ -86,3 +86,101 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "bit-identical: yes" in out
+
+    def test_serve_cluster(self, capsys):
+        code = main(["serve-cluster", "--requests", "6", "--scale", "0.1",
+                     "--seed-pool", "2", "--benchmarks", "PointNet++(c)",
+                     "--shards", "2", "--tenant-pool", "2",
+                     "--deadline-ms", "1e9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 6/6 requests" in out
+        assert "deadlines: 6 met, 0 missed" in out
+        assert "tenant tenantA" in out and "tenant tenantB" in out
+        assert "L2 store" in out
+
+    def test_serve_cluster_persists_and_warm_starts(self, tmp_path, capsys):
+        cache_dir = tmp_path / "maps"
+        argv = ["serve-cluster", "--requests", "2", "--scale", "0.1",
+                "--seed-pool", "1", "--benchmarks", "PointNet++(c)",
+                "--shards", "1", "--cache-dir", str(cache_dir)]
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        assert any(cache_dir.glob("*.map"))
+        assert main(list(argv)) == 0
+        out = capsys.readouterr().out
+        assert "first-request map hits: 0" not in out  # warm-started
+
+    def test_serve_cluster_request_file(self, tmp_path, capsys):
+        path = tmp_path / "reqs.jsonl"
+        path.write_text(
+            '{"benchmark": "PointNet++(c)", "scale": 0.1, "tenant": "acme"}\n'
+            '{"benchmark": "PointNet++(c)", "scale": 0.1, "deadline_ms": 0}\n'
+        )
+        code = main(["serve-cluster", "--request-file", str(path),
+                     "--shards", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1/2 requests (1 rejected)" in out
+        assert "rejected" in out
+
+    def test_bench_cluster(self, capsys):
+        code = main(["bench-cluster", "--benchmarks", "PointNet++(c)",
+                     "--repeats", "2", "--seeds", "1", "--scale", "0.1",
+                     "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "bit-identical: yes" in out
+        assert "warm cluster" in out
+
+
+class TestErrorPaths:
+    """Unknown backends/benchmarks and malformed request files must exit 2
+    with a stderr message naming the problem — never a traceback."""
+
+    def test_run_unknown_machine(self, capsys):
+        assert main(["run", "PointNet", "--machine", "TPUv9",
+                     "--scale", "0.08"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err and "TPUv9" in err
+
+    @pytest.mark.parametrize("command", ["serve-sim", "serve-cluster"])
+    def test_unknown_backend(self, command, capsys):
+        assert main([command, "--backends", "abacus", "--requests", "1"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["serve-sim", "serve-cluster",
+                                         "bench-engine", "bench-cluster"])
+    def test_unknown_benchmark(self, command, capsys):
+        assert main([command, "--benchmarks", "AlexNet"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("{broken json", "malformed JSON"),
+        ('{"scale": 0.5}', "benchmark"),
+        ('{"benchmark": "PointNet", "turbo": 1}', "unknown request field"),
+        ('{"benchmark": "PointNet", "scale": true}', "field 'scale' has type"),
+        ("", "no requests"),
+    ])
+    @pytest.mark.parametrize("command", ["serve-sim", "serve-cluster"])
+    def test_malformed_request_file(self, command, payload, fragment,
+                                    tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(payload + "\n")
+        assert main([command, "--request-file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert fragment in err and err.startswith("error:")
+
+    @pytest.mark.parametrize("command", ["serve-sim", "serve-cluster"])
+    def test_missing_request_file(self, command, tmp_path, capsys):
+        code = main([command, "--request-file",
+                     str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read request file" in capsys.readouterr().err
+
+    def test_bad_shard_and_window_counts(self, capsys):
+        assert main(["serve-cluster", "--shards", "0", "--requests", "1"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["serve-cluster", "--window", "0", "--requests", "1"]) == 2
+        assert "--window" in capsys.readouterr().err

@@ -65,6 +65,15 @@ def test_batch_serving(capsys):
     assert "reuse" in out
 
 
+def test_cluster_serving(capsys):
+    run_example("cluster_serving.py",
+                ["--shards", "2", "--requests", "6", "--scale", "0.1"])
+    out = capsys.readouterr().out
+    assert "shard requests" in out
+    assert "rejected" in out
+    assert "warm start" in out
+
+
 def test_memory_system_demo(capsys):
     run_example("memory_system_demo.py")
     out = capsys.readouterr().out
