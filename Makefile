@@ -9,6 +9,8 @@
 #                       never overwrites the goldens - see benchmarks/conftest.py)
 #   make engine-bench - the engine throughput comparison from the CLI
 #   make bench-cluster- cluster throughput + persistence smoke at reduced scale
+#   make bench-stream - streaming throughput (warm stream vs cold per-frame)
+#                       at reduced scale
 
 PYTHON      ?= python
 PYTHONPATH  := src
@@ -16,7 +18,7 @@ SMOKE_SCALE ?= 0.1
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster
+.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,3 +43,7 @@ engine-bench:
 bench-cluster:
 	REPRO_BENCH_SCALE=$(SMOKE_SCALE) $(PYTHON) -m pytest \
 		benchmarks/test_cluster_throughput.py -q
+
+bench-stream:
+	REPRO_BENCH_SCALE=$(SMOKE_SCALE) $(PYTHON) -m pytest \
+		benchmarks/test_stream_throughput.py -q

@@ -17,7 +17,10 @@ Python/numpy:
   backends with content-addressed map caching (``repro.engine``),
 * a sharded serving cluster over those engines — workload-affinity
   routing, a tiered L1/L2/disk map cache that persists across CLI
-  invocations, and deadline/tenant QoS (``repro.cluster``).
+  invocations, and deadline/tenant QoS (``repro.cluster``),
+* a temporal streaming subsystem serving LiDAR frame sequences with
+  tile-granular incremental map reuse and geometry-only trace
+  construction (``repro.stream``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -35,4 +38,5 @@ __all__ = [
     "experiments",
     "engine",
     "cluster",
+    "stream",
 ]

@@ -13,12 +13,20 @@ Commands:
 * ``serve-cluster``— stream a workload through a sharded engine cluster
                      with tiered (L1/L2/disk) map caching and deadline QoS;
 * ``bench-cluster``— warm cluster vs cold single engine throughput, plus
-                     the disk-persistence warm-start path.
+                     the disk-persistence warm-start path;
+* ``serve-stream`` — serve a temporal LiDAR frame sequence with
+                     tile-granular incremental map reuse;
+* ``bench-stream`` — warm streaming vs cold per-frame simulation.
+
+The ``bench-*`` commands accept ``--json PATH`` to additionally write the
+measured numbers as machine-readable JSON (CI archives these as
+``BENCH_*.json`` perf trajectories).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -43,6 +51,7 @@ from .engine import (
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import format_table
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
+from .stream import FrameSequence, SequenceConfig, StreamSession
 
 __all__ = ["main"]
 
@@ -210,6 +219,36 @@ def _build_workload(args, tenant_pool: int = 1,
         raise CLIError(str(exc)) from exc
 
 
+def _format_by_op(by_op: dict) -> str:
+    """One-line per-op hit/miss rendering, ops in a stable order."""
+    if not by_op:
+        return "(no mapping lookups)"
+    return "  ".join(
+        f"{op} {c['hits']}/{c['hits'] + c['misses']}"
+        for op, c in sorted(by_op.items())
+    )
+
+
+def _merge_by_op(dicts) -> dict:
+    merged: dict = {}
+    for by_op in dicts:
+        for op, c in (by_op or {}).items():
+            slot = merged.setdefault(op, {"hits": 0, "misses": 0})
+            slot["hits"] += c["hits"]
+            slot["misses"] += c["misses"]
+    return merged
+
+
+def _write_json(path: str, payload: dict) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        raise CLIError(f"cannot write --json file {path}: {exc}") from exc
+    print(f"wrote {path}")
+
+
 def cmd_serve_sim(args) -> int:
     """Simulate serving: a request stream through the engine."""
     if args.window < 1:
@@ -236,6 +275,8 @@ def cmd_serve_sim(args) -> int:
     print(f"traces: {stats.trace_builds} built, {stats.trace_reuses} reused; "
           f"map cache: {cache.get('hits', 0)} hits / "
           f"{cache.get('misses', 0)} misses")
+    print(f"map cache by op (hits/lookups): "
+          f"{_format_by_op(cache.get('by_op', {}))}")
     for name in backends:
         print(f"modeled {name}: {stats.backend_seconds[name] * 1e3:.3f} ms total")
     return 0
@@ -300,7 +341,24 @@ def cmd_bench_engine(args) -> int:
         ["mode", "wall s", "req/s", "trace reuse", "map-cache hits"],
         rows, title=_bench_title(args, n, benchmarks),
     ))
-    return _print_speedup(cold_s, engine_s, mismatch)
+    code = _print_speedup(cold_s, engine_s, mismatch)
+    if args.json:
+        _write_json(args.json, {
+            "command": "bench-engine",
+            "requests": n,
+            "benchmarks": benchmarks,
+            "repeats": args.repeats,
+            "seeds": args.seeds,
+            "scale": args.scale,
+            "policy": args.policy,
+            "cold_seconds": cold_s,
+            "engine_seconds": engine_s,
+            "speedup": cold_s / engine_s,
+            "mismatches": mismatch,
+            "trace_reuses": stats.trace_reuses,
+            "map_cache": cache,
+        })
+    return code
 
 
 def cmd_serve_cluster(args) -> int:
@@ -352,6 +410,10 @@ def cmd_serve_cluster(args) -> int:
     print(f"L2 store: {l2.get('hits', 0)} hits / {l2.get('misses', 0)} misses, "
           f"{l2.get('disk_hits', 0)} disk hits"
           + (f" (persisted under {args.cache_dir})" if args.cache_dir else ""))
+    shard_by_op = _merge_by_op(
+        shard.get("map_cache", {}).get("by_op") for shard in stats.shards
+    )
+    print(f"map lookups by op (hits/lookups): {_format_by_op(shard_by_op)}")
     # Warm-start observability: with a pre-populated --cache-dir the very
     # first admitted request already hits (the benchmark suite asserts on
     # this line); '-' when nothing was admitted.
@@ -403,7 +465,187 @@ def cmd_bench_cluster(args) -> int:
     if args.cache_dir:
         print(f"map store persisted under {args.cache_dir} "
               f"(a later serve-cluster --cache-dir warm-starts from it)")
+    if args.json:
+        _write_json(args.json, {
+            "command": "bench-cluster",
+            "requests": n,
+            "benchmarks": benchmarks,
+            "repeats": args.repeats,
+            "seeds": args.seeds,
+            "scale": args.scale,
+            "policy": args.policy,
+            "shards": args.shards,
+            "routing": args.routing,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": cold_s / warm_s,
+            "mismatches": mismatch,
+            "shard_requests": stats.routing["counts"],
+            "l2": stats.l2,
+        })
     return code
+
+
+def cmd_serve_stream(args) -> int:
+    """Serve a synthetic LiDAR sequence with tile-granular map reuse."""
+    if args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}", file=sys.stderr)
+        return 2
+    try:
+        session = _build_stream_session(args)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    print(f"{'frame':>5s} {'points':>7s} {'pointacc ms':>12s} "
+          f"{'tile hits':>9s} {'wall ms':>8s} {'status':>8s}")
+    prev_hits = 0
+    for frame in session.play(args.frames):
+        tile_hits = 0
+        if session.tile_cache is not None:
+            hits = session.tile_cache.stats().tile_hits
+            tile_hits, prev_hits = hits - prev_hits, hits
+        if frame.dropped or frame.rejected:
+            status = "dropped" if frame.dropped else "rejected"
+            print(f"{frame.index:5d} {'-':>7s} {'-':>12s} "
+                  f"{'-':>9s} {'-':>8s} {status:>8s}")
+            continue
+        rep = frame.result.reports.get("pointacc")
+        modeled = f"{rep.total_seconds * 1e3:12.3f}" if rep else " unsupported"
+        n_pts = frame.result.trace.input_points if frame.result.trace else 0
+        deadline = {True: "met", False: "MISSED", None: "ok"}[
+            frame.result.deadline_met
+        ]
+        print(f"{frame.index:5d} {n_pts:7d} {modeled} "
+              f"{tile_hits:9d} {frame.latency_ms:8.1f} {deadline:>8s}")
+    summary = session.summary()
+    print(f"\nserved {summary['completed']}/{summary['frames']} frames "
+          f"({summary['dropped']} dropped, {summary['rejected']} rejected) "
+          f"in {summary['wall_seconds']:.3f}s "
+          f"({summary['throughput_fps']:.1f} frames/s)")
+    print(f"latency: p50 {summary['latency_p50_ms']:.1f} ms, "
+          f"p99 {summary['latency_p99_ms']:.1f} ms; "
+          f"geometry-only: {'yes' if summary['geometry_only'] else 'no'}")
+    tiles = summary.get("tiles")
+    if tiles:
+        print(f"tile cache: {tiles['tile_hits']}/{tiles['tile_lookups']} "
+              f"sub-lookups hit ({tiles['tile_hit_rate'] * 100:.0f}%), "
+              f"{tiles['certified_rows']} rows certified, "
+              f"{tiles['fallback_rows']} rows recomputed globally")
+        print(f"tile reuse by op (hits/lookups): "
+              f"{_format_by_op(tiles['by_op'])}")
+    return 0
+
+
+def cmd_bench_stream(args) -> int:
+    """Warm streaming vs cold per-frame simulation on one sequence."""
+    if args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}", file=sys.stderr)
+        return 2
+    backends = _parse_backends(args.backends)
+    first = backends[0]
+    try:
+        session = _build_stream_session(args)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    if args.drop_late:
+        # A throughput comparison needs every frame simulated on both
+        # sides; load shedding belongs to serve-stream.
+        raise CLIError("bench-stream compares complete passes; "
+                       "--drop-late only applies to serve-stream")
+
+    t0 = time.perf_counter()
+    cold = [
+        run_cold(
+            SimRequest(benchmark=session.notation, scale=args.scale, seed=i),
+            backends=backends,
+        )
+        for i in range(args.frames)
+    ]
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = session.run(args.frames)
+    warm_s = time.perf_counter() - t0
+
+    incomplete = sum(not w.completed for w in warm)
+    if incomplete:
+        raise CLIError(
+            f"{incomplete} of {args.frames} frames were rejected "
+            f"(deadline admission) — relax --deadline-ms to benchmark "
+            f"a complete pass"
+        )
+    # A backend that cannot run this model records the same error cold and
+    # warm; compare whatever reports exist (None == None is a match).
+    mismatch = sum(
+        c.reports.get(first) != w.result.reports.get(first)
+        for c, w in zip(cold, warm)
+    )
+    summary = session.summary()
+    tiles = summary.get("tiles") or {}
+    n = args.frames
+    rows = [
+        ["cold per-frame", f"{cold_s:.3f}", f"{n / cold_s:.2f}", "-"],
+        ["warm streaming", f"{warm_s:.3f}", f"{n / warm_s:.2f}",
+         f"{tiles.get('tile_hits', 0)}/{tiles.get('tile_lookups', 0)}"],
+    ]
+    print(format_table(
+        ["mode", "wall s", "frames/s", "tile hits"],
+        rows,
+        title=(f"{n} frames: {args.benchmark} @ scale {args.scale}, "
+               f"tile {args.tile_size}m, halo {args.halo}"),
+    ))
+    code = _print_speedup(cold_s, warm_s, mismatch)
+    if args.json:
+        _write_json(args.json, {
+            "command": "bench-stream",
+            "frames": n,
+            "benchmark": args.benchmark,
+            "scale": args.scale,
+            "tile_size": args.tile_size,
+            "halo": args.halo,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": cold_s / warm_s,
+            "mismatches": mismatch,
+            "latency_p50_ms": summary["latency_p50_ms"],
+            "latency_p99_ms": summary["latency_p99_ms"],
+            "tiles": tiles,
+        })
+    return code
+
+
+def _build_stream_session(args) -> StreamSession:
+    """Shared serve-stream / bench-stream session construction."""
+    sequence = FrameSequence(SequenceConfig(
+        seed=args.seq_seed,
+        n_frames=args.frames,
+        speed=args.speed,
+        fov=args.fov,
+    ))
+    cluster = None
+    if args.shards > 0:
+        from .stream import TileMapCache
+
+        cluster = EngineCluster(
+            n_shards=args.shards,
+            backends=_parse_backends(args.backends),
+            tile_cache=(
+                TileMapCache(tile_size=args.tile_size, halo=args.halo)
+                if not args.no_tiles else None
+            ),
+        )
+    return StreamSession(
+        sequence,
+        args.benchmark,
+        cluster=cluster,
+        backends=_parse_backends(args.backends),
+        scale=args.scale,
+        tile_size=args.tile_size,
+        halo=args.halo,
+        use_tiles=not args.no_tiles,
+        deadline_ms=args.deadline_ms,
+        period_ms=args.period_ms,
+        drop_late=args.drop_late,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -456,6 +698,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_args(srv_p)
 
+    def add_json_arg(p):
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="additionally write the measured numbers as JSON")
+
     be_p = sub.add_parser(
         "bench-engine", help="engine (cached) vs cold sequential throughput"
     )
@@ -465,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     be_p.add_argument("--seeds", type=int, default=2)
     be_p.add_argument("--scale", type=float, default=0.25)
     be_p.add_argument("--policy", choices=POLICIES, default="bucketed")
+    add_json_arg(be_p)
 
     sc_p = sub.add_parser(
         "serve-cluster",
@@ -495,6 +742,46 @@ def build_parser() -> argparse.ArgumentParser:
     bc_p.add_argument("--shards", type=int, default=4)
     bc_p.add_argument("--routing", choices=ROUTING_MODES, default="affinity")
     bc_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    add_json_arg(bc_p)
+
+    def add_stream_args(p):
+        p.add_argument("--frames", type=int, default=8)
+        p.add_argument("--benchmark", default="MinkNet(o)",
+                       choices=[*BENCHMARKS, MINI_MINKUNET.notation])
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seq-seed", type=int, default=0,
+                       help="sequence world/weights seed")
+        p.add_argument("--speed", type=float, default=2.0,
+                       help="ego meters per frame")
+        p.add_argument("--fov", type=float, default=24.0,
+                       help="field-of-view half-side, meters")
+        p.add_argument("--tile-size", type=float, default=4.0,
+                       help="tile side for continuous ops, meters")
+        p.add_argument("--halo", type=int, default=1,
+                       help="halo width in tiles for kNN/ball query")
+        p.add_argument("--no-tiles", action="store_true",
+                       help="disable the tile front (digest tiers only)")
+        p.add_argument("--backends", default="pointacc")
+        p.add_argument("--shards", type=int, default=0,
+                       help="> 0 serves through an engine cluster")
+        p.add_argument("--deadline-ms", type=float, default=None)
+        p.add_argument("--period-ms", type=float, default=100.0,
+                       help="frame arrival period (the stream's native rate)")
+        p.add_argument("--drop-late", action="store_true",
+                       help="drop frames whose deadline expired before dispatch")
+
+    ss_p = sub.add_parser(
+        "serve-stream",
+        help="serve a LiDAR frame sequence with tile-granular map reuse",
+    )
+    add_stream_args(ss_p)
+
+    bs_p = sub.add_parser(
+        "bench-stream",
+        help="warm streaming vs cold per-frame simulation",
+    )
+    add_stream_args(bs_p)
+    add_json_arg(bs_p)
 
     return parser
 
@@ -511,6 +798,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-engine": cmd_bench_engine,
         "serve-cluster": cmd_serve_cluster,
         "bench-cluster": cmd_bench_cluster,
+        "serve-stream": cmd_serve_stream,
+        "bench-stream": cmd_bench_stream,
     }
     try:
         return handlers[args.command](args)

@@ -98,6 +98,11 @@ class EngineCluster:
         Disk-spill directory for the auto-built L2 store.  Lazy per-key
         probing means a second cluster pointed at the same directory
         warm-starts on its very first request.
+    tile_cache:
+        Optional content-aware front shared by every shard (see
+        :class:`~repro.engine.SimulationEngine`); tile sub-results land in
+        each shard's private L1 *and* the shared L2, so a tile computed on
+        one shard serves every shard — and persists with ``cache_dir``.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class EngineCluster:
         map_cache: str | None = "auto",
         l2: SharedMapStore | str | None = "auto",
         cache_dir=None,
+        tile_cache=None,
         reuse_traces: bool = True,
     ) -> None:
         if l2 == "auto":
@@ -117,6 +123,7 @@ class EngineCluster:
             raise ValueError("cache_dir requires the auto-built L2 store")
         self.router = ShardRouter(n_shards, mode=routing)
         self.l2 = l2
+        self.tile_cache = tile_cache
         self.qos = QoSScheduler()
         self.shards = [
             SimulationEngine(
@@ -124,6 +131,7 @@ class EngineCluster:
                 policy=policy,
                 map_cache=MapCache() if map_cache == "auto" else map_cache,
                 l2=l2,
+                tile_cache=tile_cache,
                 reuse_traces=reuse_traces,
             )
             for _ in range(n_shards)

@@ -16,9 +16,10 @@ unnecessary in the common path.  Memory eviction never deletes spilled
 files — disk *is* the capacity overflow tier.
 
 Corrupt or unreadable spill files are treated as misses (counted in
-``disk_errors``), never as failures: the store is a cache, and the contract
-everywhere in this repo is that caching may change wall-clock only, never a
-result.
+``disk_errors``) and deleted on sight, never surfaced as failures: the
+store is a cache, and the contract everywhere in this repo is that caching
+may change wall-clock only, never a result.  Deleting the bad file lets
+the recompute that the miss triggers rewrite the slot cleanly.
 """
 
 from __future__ import annotations
@@ -99,7 +100,15 @@ class SharedMapStore(MapCache):
             with open(path, "rb") as fh:
                 return pickle.load(fh)
         except Exception:
+            # Corrupt/truncated spill (killed process, disk-full partial
+            # write): count it, *delete it* so the slot can be rewritten by
+            # the recompute this miss triggers, and carry on.  A cache file
+            # must never be able to take the store down.
             self.stats().extra["disk_errors"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     # ------------------------------------------------------------------
@@ -162,10 +171,19 @@ class SharedMapStore(MapCache):
         for path in sorted(base.glob(f"*{_SUFFIX}")):
             try:
                 key = bytes.fromhex(path.stem)
+            except ValueError:
+                # Not one of our spill files: count it, leave it alone.
+                self.stats().extra["disk_errors"] += 1
+                continue
+            try:
                 with open(path, "rb") as fh:
                     value = pickle.load(fh)
             except Exception:
                 self.stats().extra["disk_errors"] += 1
+                try:
+                    path.unlink()  # same contract as the lazy probe
+                except OSError:
+                    pass
                 continue
             MapCache.put(self, key, value)  # no re-spill of what disk already has
             loaded += 1

@@ -57,6 +57,14 @@ class SimRequest:
     admission to completion, ``tenant`` the fair-share accounting bucket.
     A bare engine ignores both — they never reach the workload key, so
     they cannot change a simulated result.
+
+    ``geometry_only`` requests the feature-skipping execution mode for
+    model families whose trace is a pure function of coordinates (see
+    :func:`repro.nn.models.registry.run_benchmark`).  Like the QoS fields
+    it stays out of the workload key: a geometry-only build and a full
+    functional build of the same workload produce bit-identical traces and
+    reports (property-enforced), so they are the same workload — only
+    cheaper.  The streaming pipeline sets it for sparseconv frame streams.
     """
 
     benchmark: str
@@ -66,6 +74,7 @@ class SimRequest:
     tag: str = ""
     tenant: str = ""
     deadline_ms: float | None = None
+    geometry_only: bool = False
 
     @property
     def workload_key(self) -> tuple:
@@ -153,6 +162,13 @@ class SimulationEngine:
         builds run against a :class:`~repro.mapping.hooks.TieredLookup`
         chain ``[map_cache, l2]`` — the engine's private L1 backed by the
         injected shared store — instead of the L1 alone.
+    tile_cache:
+        Optional content-aware front (e.g. the streaming subsystem's
+        :class:`~repro.stream.incremental.TileMapCache`) consulted before
+        the digest tiers; it decomposes supported mapping ops into
+        spatial-tile sub-lookups addressed into the same tier chain, so
+        *overlapping* — not just identical — clouds hit.  Requires at
+        least one digest tier to store sub-entries in.
     reuse_traces:
         Enable the request-level trace/report memo.
     """
@@ -163,6 +179,7 @@ class SimulationEngine:
         policy: str = "fifo",
         map_cache: MapCache | None | str = "auto",
         l2=None,
+        tile_cache=None,
         reuse_traces: bool = True,
     ) -> None:
         if policy not in POLICIES:
@@ -173,8 +190,16 @@ class SimulationEngine:
         self.backends = {name: resolve_backend(name) for name in backends}
         self.map_cache = MapCache() if map_cache == "auto" else map_cache
         self.l2 = l2
+        self.tile_cache = tile_cache
         tiers = [t for t in (self.map_cache, l2) if t is not None]
-        if len(tiers) > 1:
+        if tile_cache is not None:
+            if not tiers:
+                raise ValueError(
+                    "tile_cache needs at least one cache tier to store "
+                    "sub-results in (map_cache and l2 are both disabled)"
+                )
+            self._lookup = TieredLookup(tiers, front=tile_cache)
+        elif len(tiers) > 1:
             self._lookup = TieredLookup(tiers)
         else:
             self._lookup = tiers[0] if tiers else None
@@ -204,7 +229,8 @@ class SimulationEngine:
             hits0 = misses0 = 0
         with ctx:
             trace, _ = run_benchmark(
-                request.benchmark, scale=request.scale, seed=request.seed
+                request.benchmark, scale=request.scale, seed=request.seed,
+                geometry_only=request.geometry_only,
             )
         if self._lookup is not None:
             hits = self._lookup.stats().hits - hits0
@@ -311,7 +337,8 @@ def run_cold(request: SimRequest, backends=("pointacc",)) -> SimResult:
     """
     t0 = time.perf_counter()
     trace, _ = run_benchmark(
-        request.benchmark, scale=request.scale, seed=request.seed
+        request.benchmark, scale=request.scale, seed=request.seed,
+        geometry_only=request.geometry_only,
     )
     result = SimResult(request=request, index=0, trace=trace)
     for name in backends:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..mapping.hooks import count_by_op
 from ..mapping.maps import MapTable
 
 __all__ = ["MapCache", "MapCacheStats"]
@@ -97,8 +98,7 @@ class MapCacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def _count(self, op: str, hit: bool) -> None:
-        slot = self.by_op.setdefault(op, {"hits": 0, "misses": 0})
-        slot["hits" if hit else "misses"] += 1
+        count_by_op(self.by_op, op, hit)
         if hit:
             self.hits += 1
         else:

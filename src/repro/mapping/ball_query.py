@@ -58,6 +58,24 @@ def _ball_query_compute(
     radius: float,
     k: int,
 ) -> np.ndarray:
+    result, _, _ = _ball_query_details(queries, references, radius, k)
+    return result
+
+
+def _ball_query_details(
+    queries: np.ndarray,
+    references: np.ndarray,
+    radius: float,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ball-query kernel plus the per-row facts incremental reuse needs.
+
+    Returns ``(result, in_radius, kth_sq)``: the padded index rows, the
+    *raw* count of in-radius candidates per row (before the pad-to-1
+    floor), and the distance of each row's last candidate — the
+    certificates :mod:`repro.stream.incremental` uses to decide whether a
+    tile-local answer provably equals the global one.
+    """
     sq = pairwise_squared_distance(queries, references)
     r2 = radius * radius
     n_ref = sq.shape[1]
@@ -68,13 +86,14 @@ def _ball_query_compute(
     # Candidates are distance-ascending, so in-radius flags form a prefix of
     # each row; count the prefix and pad the tail with the nearest point
     # (also the fallback when no candidate is in radius).
-    counts = np.maximum((sorted_sq <= r2).sum(axis=1), 1)
+    in_radius = (sorted_sq <= r2).sum(axis=1)
+    counts = np.maximum(in_radius, 1)
     col = np.arange(k_eff)[None, :]
     result = np.where(col < counts[:, None], candidates, candidates[:, :1])
     if k_eff < k:
         pad = np.repeat(result[:, :1], k - k_eff, axis=1)
         result = np.concatenate([result, pad], axis=1)
-    return result.astype(np.int64)
+    return result.astype(np.int64), in_radius, sorted_sq[:, -1]
 
 
 def ball_query_maps(

@@ -26,29 +26,67 @@ installs the chain — the tiered path the cluster's shards run on.  Tiers
 are duck-typed: anything with ``key`` / ``get`` / ``put`` / ``stats()``
 (the :class:`~repro.engine.map_cache.MapCache` surface) works, so this
 module needs no imports from the engine.
+
+Content-aware front
+-------------------
+Digest tiers only ever see whole-input content keys, so two clouds that
+overlap but are not bit-identical can never share an entry.  A *front* is
+an optional content-aware stage consulted before the digest path: anything
+with ``handles(op, arrays, params)`` and
+``memoize(op, arrays, params, compute, chain)`` (plus ``stats()``) may be
+installed as ``TieredLookup(tiers, front=...)``.  A front that handles an
+op may decompose it — e.g. the streaming tile cache
+(:class:`repro.stream.incremental.TileMapCache`) splits a cloud into
+spatial tiles and serves unchanged tiles from the chain's digest tiers via
+:meth:`TieredLookup.get` / :meth:`TieredLookup.put` — as long as it
+preserves the contract that a cache can only ever change wall-clock, never
+a result.  Ops a front does not handle fall through to the digest path
+unchanged.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
-__all__ = ["TieredLookup", "TieredStats", "active_cache", "use_map_cache"]
+__all__ = [
+    "TieredLookup",
+    "TieredStats",
+    "active_cache",
+    "count_by_op",
+    "use_map_cache",
+]
 
 _ACTIVE = None
+
+
+def count_by_op(by_op: dict, op: str, hit: bool) -> None:
+    """Increment the shared per-op counter shape ``{op: {hits, misses}}``.
+
+    One definition for every stats object that attributes cache behaviour
+    to mapping ops (``MapCacheStats``, :class:`TieredStats`, the stream
+    front's ``TileFrontStats``), so the by-op schema cannot drift apart.
+    """
+    slot = by_op.setdefault(op, {"hits": 0, "misses": 0})
+    slot["hits" if hit else "misses"] += 1
 
 
 class TieredStats:
     """Lookup-level counters for a :class:`TieredLookup`.
 
     ``hits``/``misses`` describe the chain as a whole (a hit in *any* tier
-    is one chain hit); ``snapshot()`` additionally carries each tier's own
-    counters so L1 vs L2 vs disk behaviour stays distinguishable.
+    is one chain hit); ``by_op`` splits the same counters per mapping op
+    (fps / knn / ball_query / kernel_map/...), so a serving stats dump can
+    attribute reuse to the op that earned it.  ``snapshot()`` additionally
+    carries each tier's own counters so L1 vs L2 vs disk behaviour stays
+    distinguishable, plus the front's counters when one is installed.
     """
 
-    def __init__(self, tiers) -> None:
+    def __init__(self, tiers, front=None) -> None:
         self._tiers = tiers
+        self._front = front
         self.hits = 0
         self.misses = 0
+        self.by_op: dict = {}  # op -> {"hits": int, "misses": int}
 
     @property
     def lookups(self) -> int:
@@ -58,14 +96,25 @@ class TieredStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def _count(self, op: str, hit: bool) -> None:
+        count_by_op(self.by_op, op, hit)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
     def snapshot(self) -> dict:
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
+            "by_op": {op: dict(c) for op, c in self.by_op.items()},
             "tiers": [tier.stats().snapshot() for tier in self._tiers],
         }
+        if self._front is not None:
+            out["front"] = self._front.stats().snapshot()
+        return out
 
 
 class TieredLookup:
@@ -78,26 +127,47 @@ class TieredLookup:
     caller can never alias a stored entry.
     """
 
-    def __init__(self, tiers) -> None:
+    def __init__(self, tiers, front=None) -> None:
         tiers = [t for t in tiers if t is not None]
         if not tiers:
             raise ValueError("TieredLookup needs at least one tier")
         self.tiers = tiers
-        self._stats = TieredStats(tiers)
+        self.front = front
+        self._stats = TieredStats(tiers, front)
 
     def stats(self) -> TieredStats:
         return self._stats
 
+    def get(self, key: bytes, op: str = "?"):
+        """Chain-level digest probe: first tier that hits wins, with the
+        value promoted into every tier above it.  ``None`` on a full miss.
+        Used by content-aware fronts to address sub-results into the same
+        L1/L2/disk tiers whole-op entries live in."""
+        for depth, tier in enumerate(self.tiers):
+            value = tier.get(key, op)
+            if value is not None:
+                for upper in self.tiers[:depth]:
+                    upper.put(key, value, op)
+                return value
+        return None
+
+    def put(self, key: bytes, value, op: str = "?") -> None:
+        """Chain-level insert: write-through to every tier."""
+        for tier in self.tiers:
+            tier.put(key, value, op)
+
     def memoize(self, op: str, arrays, params: dict, compute):
+        if self.front is not None and self.front.handles(op, arrays, params):
+            return self.front.memoize(op, arrays, params, compute, self)
         key = self.tiers[0].key(op, arrays, params)
         for depth, tier in enumerate(self.tiers):
             value = tier.get(key, op)
             if value is not None:
-                self._stats.hits += 1
+                self._stats._count(op, hit=True)
                 for upper in self.tiers[:depth]:
                     upper.put(key, value, op)
                 return value
-        self._stats.misses += 1
+        self._stats._count(op, hit=False)
         value = compute()
         for tier in self.tiers:
             tier.put(key, value, op)

@@ -39,25 +39,43 @@ class MapTable:
             raise ValueError("in/out/weight index arrays must have equal length")
         if self.kernel_volume < 1:
             raise ValueError(f"kernel_volume must be >= 1, got {self.kernel_volume}")
+        self._sorted: dict = {}
+
+    def __getstate__(self):
+        # Keep disk spills (SharedMapStore pickles) free of the sort memo.
+        state = self.__dict__.copy()
+        state["_sorted"] = {}
+        return state
 
     @property
     def n_maps(self) -> int:
         return len(self.in_idx)
 
     def sorted_by(self, *, by: str = "weight") -> "MapTable":
-        """Stable-sort maps by weight index ("gather by weight") or output."""
+        """Stable-sort maps by weight index ("gather by weight") or output.
+
+        Memoized per instance: cost models replay the same table under
+        several dataflow variants, and tables are immutable by the same
+        convention every mapping consumer in this library relies on, so
+        the lexsort only ever needs to run once per ordering.
+        """
+        cached = self._sorted.get(by)
+        if cached is not None:
+            return cached
         if by == "weight":
             order = np.lexsort((self.out_idx, self.weight_idx))
         elif by == "output":
             order = np.lexsort((self.weight_idx, self.out_idx))
         else:
             raise ValueError(f"by must be 'weight' or 'output', got {by!r}")
-        return MapTable(
+        table = MapTable(
             self.in_idx[order],
             self.out_idx[order],
             self.weight_idx[order],
             self.kernel_volume,
         )
+        self._sorted[by] = table
+        return table
 
     def per_weight(self) -> list[tuple[int, np.ndarray, np.ndarray]]:
         """Group maps by weight: ``[(weight_idx, in_idx, out_idx), ...]``.

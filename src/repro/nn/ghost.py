@@ -1,0 +1,75 @@
+"""Shape-only feature stand-in for geometry-only model execution.
+
+For every model family in the paper except DGCNN's dynamic graph, mapping
+operations consume *coordinates* only — feature values never influence
+which maps exist, so the layer trace (and therefore every backend report)
+is a pure function of geometry.  The streaming subsystem exploits this:
+when a frame only needs a trace, running the dense matmuls is wasted work
+that dominates wall clock (profiling puts SparseConv feature math at ~90%
+of a MinkNet trace build).
+
+:class:`GhostFeatures` is a ``(rows, channels)`` shape token that flows
+through the network in place of a real feature matrix.  Layers that see it
+still perform every shape/channel check and still record exactly the same
+:class:`~repro.nn.trace.LayerSpec`s — they just skip the arithmetic and
+emit a new ghost of the correct output shape.  The property suite
+(``tests/properties/test_prop_stream.py``) proves reports from geometry-only
+runs are bit-identical to full functional runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GhostFeatures", "is_ghost", "concat_channels"]
+
+
+class GhostFeatures:
+    """A feature matrix reduced to its shape: ``(rows, channels)``.
+
+    Mimics just enough of the ndarray surface (``shape``, ``ndim``,
+    ``len``) for the layer-level checks and trace records to run unchanged.
+    """
+
+    __slots__ = ("shape",)
+
+    def __init__(self, rows: int, channels: int) -> None:
+        self.shape = (int(rows), int(channels))
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __add__(self, other):
+        """Residual adds: shapes must agree, the sum is again a ghost."""
+        if is_ghost(other) or isinstance(other, np.ndarray):
+            if tuple(other.shape) != self.shape:
+                raise ValueError(
+                    f"ghost add shape mismatch: {self.shape} vs {other.shape}"
+                )
+            return GhostFeatures(*self.shape)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GhostFeatures(rows={self.shape[0]}, channels={self.shape[1]})"
+
+
+def is_ghost(x) -> bool:
+    """True when ``x`` is a geometry-only feature stand-in."""
+    return isinstance(x, GhostFeatures)
+
+
+def concat_channels(a, b):
+    """Channel-wise concat that tolerates ghosts (both sides must match)."""
+    if is_ghost(a) or is_ghost(b):
+        if len(a) != len(b):
+            raise ValueError(
+                f"concat row mismatch: {len(a)} vs {len(b)}"
+            )
+        return GhostFeatures(len(a), a.shape[1] + b.shape[1])
+    return np.concatenate([a, b], axis=1)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
+from .ghost import GhostFeatures, is_ghost
 from .trace import LayerKind, LayerSpec, Trace
 
 __all__ = ["Linear", "SharedMLP", "new_param_rng"]
@@ -64,11 +65,18 @@ class Linear:
             raise ValueError(
                 f"{self.name}: expected (rows, {self.c_in}), got {x.shape}"
             )
-        y = F.linear(x, self.weight, self.bias)
-        if self.bn:
-            y = F.batch_norm(y, self.bn_mean, self.bn_var, self.bn_gamma, self.bn_beta)
-        if self.relu:
-            y = F.relu(y)
+        if is_ghost(x):
+            # Geometry-only execution: same checks, same trace record (below),
+            # no arithmetic — the record is all a backend ever consumes.
+            y = GhostFeatures(len(x), self.c_out)
+        else:
+            y = F.linear(x, self.weight, self.bias)
+            if self.bn:
+                y = F.batch_norm(
+                    y, self.bn_mean, self.bn_var, self.bn_gamma, self.bn_beta
+                )
+            if self.relu:
+                y = F.relu(y)
         if trace is not None:
             rows = len(x)
             trace.record(

@@ -17,6 +17,7 @@ import numpy as np
 
 from ...pointcloud.cloud import PointCloud, SparseTensor
 from .. import functional as F
+from ..ghost import concat_channels, is_ghost
 from ..layers import Linear, new_param_rng
 from ..sparse_conv import SparseConv, SparseConvTranspose
 from ..trace import LayerKind, LayerSpec, Trace
@@ -55,7 +56,8 @@ class ResidualBlock:
         out = self.conv2(out, trace, map_cache)
         if self.projection is not None:
             residual = self.projection(residual, trace)
-        features = F.relu(out.features + residual)
+        summed = out.features + residual
+        features = summed if is_ghost(summed) else F.relu(summed)
         if trace is not None:
             trace.record(
                 LayerSpec(
@@ -169,9 +171,7 @@ class MinkowskiUNet:
         for up, blocks in zip(self.up_convs, self.dec_blocks):
             skip = skips.pop()
             x = up(x, skip, trace, map_cache)
-            x = x.with_features(
-                np.concatenate([x.features, skip.features], axis=1)
-            )
+            x = x.with_features(concat_channels(x.features, skip.features))
             for block in blocks:
                 x = block(x, trace, map_cache)
         return self.head(x.features, trace)

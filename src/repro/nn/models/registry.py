@@ -8,6 +8,18 @@ entry point every experiment runner uses to obtain a workload trace.
 (reproduction note: we cannot re-train without the real datasets, so figures
 that plot accuracy use these constants; latency/energy axes are measured
 from our models — see DESIGN.md).
+
+Cloud sources
+-------------
+A benchmark notation may carry a cloud source suffix:
+``"MinkNet(o)@stream:3f2a..."`` runs the MinkNet(o) network on a cloud
+resolved by the registered ``stream`` scheme instead of the dataset
+generator — the ``seed`` then selects which cloud (e.g. a frame index
+within a registered sequence) and the resolver supplies the model seed, so
+a sourced workload key ``(notation, scale, seed)`` still fully determines
+both input and weights.  Schemes are registered by the subsystem that owns
+them (see :mod:`repro.stream.sequence`); tokens are content digests of the
+source configuration, so equal tokens mean equal clouds.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from typing import Callable
 import numpy as np
 
 from ...pointcloud.datasets import generate_sample, get_dataset
+from ..ghost import GhostFeatures
 from ..trace import Trace
 from .dgcnn import DGCNNPartSeg
 from .frustum import FrustumPointNet2
@@ -26,7 +39,15 @@ from .minkunet import MinkowskiUNet, mini_minkunet
 from .pointnet import PointNetCls
 from .pointnet2 import PointNet2MSGPartSeg, PointNet2SSGCls, PointNet2SSGSemSeg
 
-__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark", "build_trace", "run_benchmark"]
+__all__ = [
+    "Benchmark",
+    "BENCHMARKS",
+    "get_benchmark",
+    "build_trace",
+    "run_benchmark",
+    "register_cloud_scheme",
+    "split_notation",
+]
 
 
 @dataclass(frozen=True)
@@ -144,7 +165,36 @@ MINI_MINKUNET = Benchmark(
 )
 
 
+#: scheme -> resolver(token, scale, seed) -> (PointCloud, model_seed).
+#: Registered by the subsystem owning the scheme (e.g. ``repro.stream``).
+CLOUD_SCHEMES: dict[str, Callable] = {}
+
+
+def register_cloud_scheme(scheme: str, resolver: Callable) -> None:
+    """Register a cloud source scheme for ``"<benchmark>@<scheme>:<token>"``."""
+    if ":" in scheme or "@" in scheme:
+        raise ValueError(f"invalid scheme name {scheme!r}")
+    CLOUD_SCHEMES[scheme] = resolver
+
+
+def split_notation(notation: str) -> tuple[str, str | None]:
+    """Split ``"bench@scheme:token"`` into ``(bench, "scheme:token")``."""
+    base, sep, source = notation.partition("@")
+    return base, (source if sep else None)
+
+
+def _resolve_sourced_cloud(source: str, scale: float, seed: int):
+    scheme, sep, token = source.partition(":")
+    if not sep or scheme not in CLOUD_SCHEMES:
+        raise KeyError(
+            f"unknown cloud source {source!r}; "
+            f"registered schemes: {sorted(CLOUD_SCHEMES)}"
+        )
+    return CLOUD_SCHEMES[scheme](token, scale, seed)
+
+
 def get_benchmark(notation: str) -> Benchmark:
+    notation, _ = split_notation(notation)
     if notation == MINI_MINKUNET.notation:
         return MINI_MINKUNET
     if notation not in BENCHMARKS:
@@ -154,21 +204,54 @@ def get_benchmark(notation: str) -> Benchmark:
     return BENCHMARKS[notation]
 
 
+@lru_cache(maxsize=16)
+def _resident_model(base_notation: str, model_seed: int):
+    """Model instances for sourced (streaming) workloads.
+
+    A frame stream runs one network over many clouds; rebuilding the seeded
+    weights per frame is pure overhead (and in geometry-only mode the
+    weight *values* are never even read).  Models are stateless after
+    construction — every ``__call__`` takes its inputs and trace explicitly
+    — so sharing an instance cannot change a result.
+    """
+    return get_benchmark(base_notation).model_factory(model_seed)
+
+
 def run_benchmark(
-    notation: str, scale: float = 1.0, seed: int = 0
+    notation: str, scale: float = 1.0, seed: int = 0, geometry_only: bool = False
 ) -> tuple[Trace, object]:
-    """Run one benchmark functionally; return its trace and raw output."""
-    bench = get_benchmark(notation)
+    """Run one benchmark functionally; return its trace and raw output.
+
+    ``geometry_only`` skips feature arithmetic for model families whose
+    trace is a pure function of coordinates (currently SparseConv models,
+    via :class:`~repro.nn.ghost.GhostFeatures`); the returned trace is
+    bit-identical to a full functional run's and the raw output is a shape
+    token instead of real logits.  Families that need feature values for
+    mapping (DGCNN's dynamic graph, PointNet++'s MLPs feeding nothing —
+    conservatively, everything non-SparseConv) ignore the flag.
+    """
+    base, source = split_notation(notation)
+    bench = get_benchmark(base)
     spec = get_dataset(bench.dataset)
-    n_points = None
-    if bench.n_points is not None:
-        n_points = max(16, int(bench.n_points * scale))
-    cloud = generate_sample(bench.dataset, seed=seed, scale=scale, n_points=n_points)
-    model = bench.model_factory(seed)
+    if source is not None:
+        cloud, model_seed = _resolve_sourced_cloud(source, scale, seed)
+        model = _resident_model(base, model_seed)
+    else:
+        n_points = None
+        if bench.n_points is not None:
+            n_points = max(16, int(bench.n_points * scale))
+        cloud = generate_sample(
+            bench.dataset, seed=seed, scale=scale, n_points=n_points
+        )
+        model = bench.model_factory(seed)
     trace = Trace(name=notation)
     if bench.family == "sparseconv":
         voxel = bench.voxel_size if bench.voxel_size is not None else spec.voxel_size
-        tensor = model.prepare_input(cloud, voxel)
+        if geometry_only:
+            tensor = cloud.voxelize(voxel)
+            tensor = tensor.with_features(GhostFeatures(tensor.n, model.c_in))
+        else:
+            tensor = model.prepare_input(cloud, voxel)
         output = model(tensor, trace)
         trace.input_points = tensor.n
     else:

@@ -21,6 +21,7 @@ from ..mapping.maps import MapTable
 from ..pointcloud.cloud import SparseTensor
 from ..pointcloud.coords import kernel_offsets
 from . import functional as F
+from .ghost import GhostFeatures, is_ghost
 from .trace import LayerKind, LayerSpec, Trace
 
 __all__ = ["SparseConv", "SparseConvTranspose", "sparse_conv_apply"]
@@ -46,6 +47,10 @@ def sparse_conv_apply(
             f"{weights.shape[0]} weight slices < kernel volume {maps.kernel_volume}"
         )
     c_out = weights.shape[2]
+    if is_ghost(in_features):
+        # Geometry-only: the maps (already built) are the product; the
+        # gather-matmul-scatter would only produce values nothing reads.
+        return GhostFeatures(n_out, c_out)
     out = np.zeros((n_out, c_out), dtype=np.float64)
     for w_idx, in_idx, out_idx in maps.per_weight():
         psum = in_features[in_idx] @ weights[w_idx]
@@ -78,6 +83,8 @@ class _SparseConvBase:
             self.bn_var = np.abs(rng.normal(loc=1.0, scale=0.05, size=c_out))
 
     def _postprocess(self, out: np.ndarray) -> np.ndarray:
+        if is_ghost(out):
+            return out  # BN/ReLU are elementwise: shape (and trace) unchanged
         if self.bn:
             out = F.batch_norm(
                 out, self.bn_mean, self.bn_var, self.bn_gamma, self.bn_beta

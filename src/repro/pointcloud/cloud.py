@@ -25,6 +25,12 @@ from . import coords as coord_ops
 __all__ = ["PointCloud", "SparseTensor"]
 
 
+def _is_ghost(features) -> bool:
+    """Geometry-only stand-in (see :mod:`repro.nn.ghost`), duck-typed so the
+    container layer needs no import from the model layer."""
+    return type(features).__name__ == "GhostFeatures"
+
+
 def _check_points_features(points: np.ndarray, features: np.ndarray | None) -> None:
     if points.ndim != 2:
         raise ValueError(f"points must be (N, D), got {points.shape}")
@@ -108,7 +114,7 @@ class SparseTensor:
 
     def __post_init__(self) -> None:
         self.coords = np.asarray(self.coords, dtype=np.int64)
-        if self.features is not None:
+        if self.features is not None and not _is_ghost(self.features):
             self.features = np.asarray(self.features, dtype=np.float64)
         _check_points_features(self.coords, self.features)
         if self.tensor_stride < 1:

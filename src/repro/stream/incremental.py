@@ -1,0 +1,408 @@
+"""Tile-granular incremental map reuse: the content-aware cache front.
+
+:class:`TileMapCache` plugs into :class:`repro.mapping.hooks.TieredLookup`
+as its ``front``.  For supported mapping ops it decomposes the whole-cloud
+call into per-tile sub-problems, addresses each sub-problem into the
+chain's ordinary digest tiers (L1 / shared L2 / disk — so tile results
+shard and persist exactly like whole-op results), and recomputes only the
+tiles whose content changed, plus whatever the op's locality demands.
+
+The bit-identity contract is non-negotiable: composition must reproduce
+the reference op's output *exactly*, including neighbor ordering,
+padding and tie-breaking.  Three op families qualify:
+
+``knn``
+    Rows are independent per query.  A query tile is answered against a
+    *halo* of reference tiles within ``halo`` Chebyshev tiles; any point
+    outside the halo is provably farther than ``halo * tile_size`` from
+    every query in the tile, so a row whose k-th local neighbor is within
+    that bound is certified global-exact.  Uncertified rows (sparse halos,
+    boundary ties) are recomputed against the full reference cloud — rows
+    are independent, so partial fallback stays exact.  Tie-breaks survive
+    because the halo is materialized in ascending global order: local
+    index order *is* global index order restricted to the halo.
+
+``ball_query``
+    Same row independence and halo geometry.  A row is certified when the
+    halo covers the full query radius and at least one candidate is in
+    radius (the reference pads with the nearest in-radius point), or —
+    for under-covering halos — when all ``k`` local candidates are within
+    the covered bound.  Everything else falls back per-row.
+
+``kernel_map/{mergesort,hash,bruteforce}``
+    A finite integer stencil: map entries for an output tile depend only
+    on input points within ``max|offset|``, which one halo tile covers by
+    construction (the tile side adapts to the stencil).  Sub-results are
+    stored against a canonical per-tile concatenation (interleaving-free,
+    so the halo digest composes from per-tile digests in O(N) total
+    hashing), and the composed rows are re-ordered to the exact global
+    row order of the algorithm that was asked for.
+
+Everything else — FPS is inherently global and sequential, DGCNN's
+feature-space graphs have no spatial tiles — falls through to the chain's
+whole-content digest path untouched.
+
+A note on floating point: tile-local distance matrices are computed by the
+same :func:`~repro.pointcloud.coords.pairwise_squared_distance` formula on
+the same operands as the monolithic call, but BLAS may tile a sub-matrix
+GEMM differently, so a distance can differ from the monolithic value in
+its last ulp.  Selections and orderings are unaffected for points in
+general position (an inversion needs two candidates within one ulp of
+each other — i.e. an exact geometric tie, which the index tie-break
+resolves identically either way, computed within a single matrix);
+returned kNN *distances* are therefore exact in value but only
+reproducible to rounding.  Every map, index, trace and report — the
+simulation results — stays bit-identical, which
+``tests/properties/test_prop_stream.py`` enforces end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mapping.ball_query import _ball_query_details
+from ..mapping.hooks import count_by_op
+from ..mapping.knn import _knn_compute
+from ..mapping.maps import MapTable
+from ..pointcloud.coords import coords_to_keys
+from .tiles import TilePartition, content_digest
+
+__all__ = ["TileFrontStats", "TileMapCache"]
+
+_KERNEL_PREFIX = "kernel_map/"
+
+
+class TileFrontStats:
+    """Observable tile-front behaviour, per op and aggregate.
+
+    ``tile_hits``/``tile_misses`` count sub-problem lookups against the
+    chain; ``fallback_rows`` counts query rows that needed a global
+    recompute (certificate failures), ``certified_rows`` the rows served
+    from tile-local answers.  ``decomposed_calls`` is how many whole-op
+    calls the front handled at all.
+    """
+
+    def __init__(self) -> None:
+        self.decomposed_calls = 0
+        self.tile_hits = 0
+        self.tile_misses = 0
+        self.certified_rows = 0
+        self.fallback_rows = 0
+        self.by_op: dict = {}  # op -> {"hits": int, "misses": int}
+
+    @property
+    def tile_lookups(self) -> int:
+        return self.tile_hits + self.tile_misses
+
+    @property
+    def tile_hit_rate(self) -> float:
+        return self.tile_hits / self.tile_lookups if self.tile_lookups else 0.0
+
+    def _count(self, op: str, hit: bool) -> None:
+        count_by_op(self.by_op, op, hit)
+        if hit:
+            self.tile_hits += 1
+        else:
+            self.tile_misses += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "decomposed_calls": self.decomposed_calls,
+            "tile_hits": self.tile_hits,
+            "tile_misses": self.tile_misses,
+            "tile_lookups": self.tile_lookups,
+            "tile_hit_rate": self.tile_hit_rate,
+            "certified_rows": self.certified_rows,
+            "fallback_rows": self.fallback_rows,
+            "by_op": {op: dict(c) for op, c in self.by_op.items()},
+        }
+
+
+class TileMapCache:
+    """Content-aware front decomposing mapping ops into tile sub-lookups.
+
+    Parameters
+    ----------
+    tile_size:
+        Tile side for continuous (float) coordinates, in cloud units
+        (meters for scene datasets).
+    halo:
+        Halo width in tiles for the continuous ops (kNN / ball query).
+        Larger halos certify more rows per tile but dirty more sub-keys
+        per changed tile; ``halo * tile_size`` is the certified coverage
+        radius.  Any value is *correct* (uncertifiable rows fall back) —
+        this knob trades recompute against reuse granularity.
+    voxel_tile:
+        Tile side for integer (voxel) coordinates, in multiples of the
+        kernel stencil's reach: the effective side is
+        ``voxel_tile * max(1, max|offset|)`` voxels, so one halo ring
+        always covers the stencil at every tensor stride.
+    min_points:
+        Ops on clouds smaller than this (either input) pass through to
+        the digest tiers — tiny layers are cheaper to rehash whole than
+        to decompose.
+    """
+
+    def __init__(
+        self,
+        tile_size: float = 4.0,
+        halo: int = 1,
+        voxel_tile: int = 48,
+        min_points: int = 256,
+    ) -> None:
+        if tile_size <= 0:
+            raise ValueError(f"tile_size must be positive, got {tile_size}")
+        if halo < 0:
+            raise ValueError(f"halo must be >= 0, got {halo}")
+        if voxel_tile < 1:
+            raise ValueError(f"voxel_tile must be >= 1, got {voxel_tile}")
+        self.tile_size = float(tile_size)
+        self.halo = int(halo)
+        self.voxel_tile = int(voxel_tile)
+        self.min_points = int(min_points)
+        self._stats = TileFrontStats()
+
+    def stats(self) -> TileFrontStats:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Front protocol
+    # ------------------------------------------------------------------
+
+    def handles(self, op: str, arrays, params: dict) -> bool:
+        """True when this op decomposes into spatial tiles exactly."""
+        if op in ("knn", "ball_query"):
+            queries, references = arrays[0], arrays[1]
+        elif op.startswith(_KERNEL_PREFIX):
+            queries, references = arrays[1], arrays[0]  # out drives tiling
+        else:
+            return False
+        return (
+            queries.ndim == 2
+            and references.ndim == 2
+            and 1 <= queries.shape[1] <= 3
+            and len(queries) >= self.min_points
+            and len(references) >= self.min_points
+        )
+
+    def memoize(self, op: str, arrays, params: dict, compute, chain):
+        try:
+            if op == "knn":
+                return self._memo_knn(arrays[0], arrays[1], params["k"], chain)
+            if op == "ball_query":
+                return self._memo_ball(
+                    arrays[0], arrays[1], params["radius"], params["k"], chain
+                )
+            return self._memo_kernel_map(op, arrays[0], arrays[1], arrays[2], chain)
+        except ValueError:
+            # Untileable geometry (e.g. coordinates beyond the packable
+            # tile-key range).  Caching may never change a result — so
+            # compute plainly rather than fail.
+            return compute()
+
+    # ------------------------------------------------------------------
+    # kNN / ball query: float coordinates, per-row certificates
+    # ------------------------------------------------------------------
+
+    def _float_tiles(self, queries, references):
+        qpart = TilePartition(queries, self.tile_size)
+        rpart = TilePartition(references, self.tile_size)
+        r_cov = self.halo * self.tile_size
+        return qpart, rpart, r_cov
+
+    def _halo_sorted(self, rpart, key):
+        """``(halo_digest, interleave_perm, hal)`` for one query tile.
+
+        ``hal`` is the halo in ascending global order (the tie-break order
+        sub-results are computed under).  Rather than hashing the halo's
+        point bytes per query tile (which would re-hash every reference
+        ~(2*halo+1)^D times per call), the identity of ``hal`` is split
+        into what the neighborhood digest already covers — per-tile
+        contents, from digests computed once per call — plus the compact
+        permutation that merges the canonical per-tile concatenation into
+        global order.  That permutation depends only on the *relative*
+        interleaving of the constituent tiles, so it is stable across
+        frames exactly when the halo itself is.
+        """
+        digest, canonical = rpart.neighborhood(key, self.halo)
+        if len(canonical) == 0:
+            return digest, None, canonical
+        perm = np.argsort(canonical, kind="stable").astype(np.int32)
+        return digest, perm, canonical[perm]
+
+    def _memo_knn(self, queries, references, k: int, chain):
+        self._stats.decomposed_calls += 1
+        qpart, rpart, r_cov = self._float_tiles(queries, references)
+        r_cov2 = r_cov * r_cov
+        idx_out = np.empty((len(queries), k), dtype=np.int64)
+        dist_out = np.empty((len(queries), k), dtype=np.float64)
+        fallback = []
+        for key in qpart.keys():
+            q_idx = qpart.indices(key)
+            halo_digest, perm, hal = self._halo_sorted(rpart, key)
+            if len(hal) == 0:
+                fallback.append(q_idx)
+                continue
+            sub_key = content_digest(
+                b"tile/knn", int(k), self.tile_size, self.halo,
+                qpart.digest(key), halo_digest, perm,
+            )
+            entry = chain.get(sub_key, "knn/tile")
+            if entry is None:
+                self._stats._count("knn", hit=False)
+                loc, dist = _knn_compute(queries[q_idx], references[hal], k)
+                if len(hal) >= k:
+                    # Every true neighbor within halo coverage: exact.
+                    cert = dist[:, k - 1] <= r_cov2
+                else:
+                    cert = np.zeros(len(q_idx), dtype=bool)
+                chain.put(sub_key, (loc, dist, cert), "knn/tile")
+            else:
+                self._stats._count("knn", hit=True)
+                loc, dist, cert = entry
+            hit_rows = q_idx[cert]
+            idx_out[hit_rows] = hal[loc[cert]]
+            dist_out[hit_rows] = dist[cert]
+            self._stats.certified_rows += len(hit_rows)
+            if not cert.all():
+                fallback.append(q_idx[~cert])
+        if fallback:
+            rows = np.concatenate(fallback)
+            self._stats.fallback_rows += len(rows)
+            f_idx, f_dist = _knn_compute(queries[rows], references, k)
+            idx_out[rows] = f_idx
+            dist_out[rows] = f_dist
+        return idx_out, dist_out
+
+    def _memo_ball(self, queries, references, radius: float, k: int, chain):
+        self._stats.decomposed_calls += 1
+        qpart, rpart, r_cov = self._float_tiles(queries, references)
+        r_cov2 = r_cov * r_cov
+        full_cover = r_cov >= radius
+        idx_out = np.empty((len(queries), k), dtype=np.int64)
+        fallback = []
+        for key in qpart.keys():
+            q_idx = qpart.indices(key)
+            halo_digest, perm, hal = self._halo_sorted(rpart, key)
+            if len(hal) == 0:
+                fallback.append(q_idx)
+                continue
+            sub_key = content_digest(
+                b"tile/ball", float(radius), int(k), self.tile_size, self.halo,
+                qpart.digest(key), halo_digest, perm,
+            )
+            entry = chain.get(sub_key, "ball_query/tile")
+            if entry is None:
+                self._stats._count("ball_query", hit=False)
+                loc, in_radius, kth_sq = _ball_query_details(
+                    queries[q_idx], references[hal], radius, k
+                )
+                if full_cover:
+                    # Halo covers the query sphere: the in-radius candidate
+                    # set (and its order, and the nearest-point pad) is the
+                    # global one whenever it is non-empty.
+                    cert = in_radius >= 1
+                elif len(hal) >= k:
+                    # Under-covering halo: exact when all k candidates sit
+                    # within the covered bound (then they are the global
+                    # top-k and all in radius).
+                    cert = kth_sq <= r_cov2
+                else:
+                    cert = np.zeros(len(q_idx), dtype=bool)
+                chain.put(sub_key, (loc, cert), "ball_query/tile")
+            else:
+                self._stats._count("ball_query", hit=True)
+                loc, cert = entry
+            hit_rows = q_idx[cert]
+            idx_out[hit_rows] = hal[loc[cert]]
+            self._stats.certified_rows += len(hit_rows)
+            if not cert.all():
+                fallback.append(q_idx[~cert])
+        if fallback:
+            rows = np.concatenate(fallback)
+            self._stats.fallback_rows += len(rows)
+            f_idx, _, _ = _ball_query_details(queries[rows], references, radius, k)
+            idx_out[rows] = f_idx
+        return idx_out
+
+    # ------------------------------------------------------------------
+    # Kernel maps: integer stencil, canonical per-tile composition
+    # ------------------------------------------------------------------
+
+    def _memo_kernel_map(self, op: str, in_coords, out_coords, offsets, chain):
+        self._stats.decomposed_calls += 1
+        algorithm = op[len(_KERNEL_PREFIX):]
+        max_off = int(np.abs(offsets).max()) if len(offsets) else 1
+        side = self.voxel_tile * max(1, max_off)  # one halo ring covers stencil
+        ipart = TilePartition(in_coords, side)
+        # Submanifold convs map a cloud onto itself: share the partition.
+        opart = ipart if out_coords is in_coords else TilePartition(out_coords, side)
+        rows_in, rows_out, rows_w = [], [], []
+        for key in opart.keys():
+            o_idx = opart.indices(key)
+            halo_digest, hal = ipart.neighborhood(key, 1)
+            sub_key = content_digest(
+                b"tile/kmap", algorithm, np.asarray(offsets), int(side),
+                out_coords[o_idx], halo_digest,
+            )
+            entry = chain.get(sub_key, op + "/tile")
+            if entry is None:
+                self._stats._count(op, hit=False)
+                entry = _tile_kernel_rows(
+                    in_coords[hal], out_coords[o_idx], offsets
+                )
+                chain.put(sub_key, entry, op + "/tile")
+            else:
+                self._stats._count(op, hit=True)
+            loc_in, loc_out, loc_w = entry
+            if len(loc_in):
+                rows_in.append(hal[loc_in])
+                rows_out.append(o_idx[loc_out])
+                rows_w.append(loc_w)
+        if not rows_in:
+            empty = np.empty(0, dtype=np.int64)
+            return MapTable(empty, empty, empty, kernel_volume=len(offsets))
+        p_idx = np.concatenate(rows_in).astype(np.int64)
+        q_idx = np.concatenate(rows_out).astype(np.int64)
+        w_idx = np.concatenate(rows_w).astype(np.int64)
+        # Map entries are a set — (q, delta) pairs match at most one p — so
+        # composition only has to reproduce the requested algorithm's row
+        # order: mergesort emits offset-major / input-key-minor, the hash
+        # and bruteforce probes offset-major / output-index-minor.
+        if algorithm == "mergesort":
+            order = np.lexsort((coords_to_keys(in_coords)[p_idx], w_idx))
+        else:
+            order = np.lexsort((q_idx, w_idx))
+        return MapTable(
+            p_idx[order], q_idx[order], w_idx[order],
+            kernel_volume=len(offsets),
+        )
+
+
+def _tile_kernel_rows(in_sub, out_sub, offsets):
+    """Kernel-map rows of one output tile against its canonical input halo.
+
+    Pure membership probing (``p == q + delta``) vectorized across *all*
+    offsets at once with one sorted-key binary search; row order is
+    irrelevant here — the composer re-orders globally per algorithm.
+    Returns local ``(in, out, w)`` index triples.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if not (len(in_sub) and len(out_sub) and len(offsets)):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    in_keys = coords_to_keys(in_sub)
+    order = np.argsort(in_keys, kind="stable")
+    sorted_keys = in_keys[order]
+    n_out = len(out_sub)
+    probe_coords = (out_sub[None, :, :] + offsets[:, None, :]).reshape(-1, out_sub.shape[1])
+    probe = coords_to_keys(probe_coords)
+    pos = np.searchsorted(sorted_keys, probe)
+    pos_c = np.minimum(pos, len(sorted_keys) - 1)
+    hit = (sorted_keys[pos_c] == probe) & (pos < len(sorted_keys))
+    flat = np.flatnonzero(hit)
+    return (
+        order[pos[flat]].astype(np.int64),
+        (flat % n_out).astype(np.int64),
+        (flat // n_out).astype(np.int64),
+    )

@@ -1,0 +1,258 @@
+"""Streaming sessions: ordered frame sequences through engine or cluster.
+
+:class:`StreamSession` is the serving loop for temporal workloads: it
+turns a :class:`~repro.stream.sequence.FrameSequence` plus a network into
+an ordered stream of :class:`~repro.engine.SimRequest`\\ s (one per frame,
+the request seed being the frame index), drives them through a
+:class:`~repro.engine.SimulationEngine` or
+:class:`~repro.cluster.EngineCluster` *in order* — frames are a timeline,
+not a batch to reorder — and tracks what a serving operator cares about:
+per-frame latency percentiles, deadline behaviour (including dropping
+frames whose deadline already expired before dispatch), and how much
+mapping work the tile tier reused.
+
+By default a session builds its own single engine with a
+:class:`~repro.stream.incremental.TileMapCache` front and requests
+geometry-only execution for SparseConv networks (where the trace is a
+pure function of coordinates — see :mod:`repro.nn.ghost`).  Pass a
+pre-built ``engine=`` or ``cluster=`` to reuse existing fleets; the
+session then respects their cache configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.engine import SimRequest, SimResult, SimulationEngine
+from ..engine.map_cache import MapCache
+from ..nn.models.registry import get_benchmark
+from .incremental import TileMapCache
+from .sequence import FrameSequence
+
+__all__ = ["FrameResult", "StreamSession", "StreamStats"]
+
+
+@dataclass
+class FrameResult:
+    """Outcome of one frame in a session."""
+
+    index: int                       #: frame index within the sequence
+    dropped: bool = False            #: deadline expired before dispatch
+    result: SimResult | None = None  #: None iff dropped
+    latency_ms: float = 0.0          #: dispatch-to-completion wall time
+
+    @property
+    def rejected(self) -> bool:
+        """Admission-rejected by the cluster's QoS layer."""
+        return self.result is not None and "cluster" in self.result.errors
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None and not self.rejected
+
+
+@dataclass
+class StreamStats:
+    """Aggregate session behaviour."""
+
+    frames: int = 0
+    completed: int = 0
+    dropped: int = 0       #: dropped before dispatch (expired deadline)
+    rejected: int = 0      #: rejected at cluster admission
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    wall_seconds: float = 0.0
+    latencies_ms: list = field(default_factory=list)
+
+    @property
+    def throughput_fps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """Nearest-rank percentile of completed-frame latency."""
+        if not self.latencies_ms:
+            return 0.0
+        ranked = sorted(self.latencies_ms)
+        rank = max(1, int(-(-percentile * len(ranked) // 100)))  # ceil
+        return ranked[min(rank, len(ranked)) - 1]
+
+    def summary(self) -> dict:
+        return {
+            "frames": self.frames,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "rejected": self.rejected,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "wall_seconds": self.wall_seconds,
+            "throughput_fps": self.throughput_fps,
+            "latency_p50_ms": self.latency_ms(50),
+            "latency_p99_ms": self.latency_ms(99),
+        }
+
+
+class StreamSession:
+    """Serve one frame sequence through an engine or cluster, in order.
+
+    Parameters
+    ----------
+    sequence / benchmark / scale:
+        The workload: ``benchmark`` (a registry notation, e.g.
+        ``"MinkNet(o)"``) over ``sequence``'s frames at ``scale``.
+    engine / cluster:
+        Optional pre-built executor (at most one); when neither is given
+        the session builds a single engine with a tile front from the
+        ``tile_*`` parameters.
+    tile_size / halo / voxel_tile / use_tiles:
+        Tile-front configuration for the session-built engine (ignored
+        when an executor is injected — configure that executor instead).
+    geometry_only:
+        ``"auto"`` (default) enables geometry-only execution exactly for
+        SparseConv-family networks; booleans force it.
+    deadline_ms / period_ms / drop_late:
+        QoS: frame *i* arrives at ``i * period_ms`` on the session clock
+        and carries ``deadline_ms`` of budget.  With ``drop_late`` a frame
+        whose budget is already spent before dispatch is dropped without
+        simulating — the standard load-shedding move for real-time
+        perception.  Deadline *verdicts* on simulated frames additionally
+        need a cluster executor (its QoS layer scores them).
+    """
+
+    def __init__(
+        self,
+        sequence: FrameSequence,
+        benchmark: str = "MinkNet(o)",
+        *,
+        engine=None,
+        cluster=None,
+        backends=("pointacc",),
+        scale: float = 0.25,
+        tile_size: float = 4.0,
+        halo: int = 1,
+        voxel_tile: int = 48,
+        min_points: int = 256,
+        use_tiles: bool = True,
+        geometry_only: bool | str = "auto",
+        deadline_ms: float | None = None,
+        period_ms: float = 100.0,
+        drop_late: bool = False,
+    ) -> None:
+        if engine is not None and cluster is not None:
+            raise ValueError("pass at most one of engine= and cluster=")
+        if period_ms <= 0:
+            raise ValueError(f"period_ms must be positive, got {period_ms}")
+        self.sequence = sequence
+        self.benchmark = benchmark
+        self.notation = sequence.notation(benchmark)
+        self.scale = float(scale)
+        if geometry_only == "auto":
+            geometry_only = get_benchmark(benchmark).family == "sparseconv"
+        self.geometry_only = bool(geometry_only)
+        self.deadline_ms = deadline_ms
+        self.period_ms = float(period_ms)
+        self.drop_late = bool(drop_late)
+        if engine is not None or cluster is not None:
+            self.executor = engine if engine is not None else cluster
+            self.tile_cache = getattr(self.executor, "tile_cache", None)
+        else:
+            self.tile_cache = (
+                TileMapCache(
+                    tile_size=tile_size, halo=halo,
+                    voxel_tile=voxel_tile, min_points=min_points,
+                )
+                if use_tiles
+                else None
+            )
+            # Streaming produces thousands of tile sub-entries per frame;
+            # the engine's default 4096-entry L1 would evict a frame's
+            # tiles before the next frame could reuse them.
+            self.executor = SimulationEngine(
+                backends=backends,
+                policy="fifo",
+                map_cache=MapCache(max_entries=1 << 16,
+                                   max_bytes=512 * 1024 * 1024),
+                tile_cache=self.tile_cache,
+            )
+        self._stats = StreamStats()
+        self._next_frame = 0
+        self._clock = 0.0  # session-relative seconds consumed so far
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def request(self, index: int) -> SimRequest:
+        """The engine request for frame ``index``."""
+        return SimRequest(
+            benchmark=self.notation,
+            scale=self.scale,
+            seed=index,
+            tag=f"f{index}",
+            tenant="stream",
+            deadline_ms=self.deadline_ms,
+            geometry_only=self.geometry_only,
+        )
+
+    def play(self, n_frames: int | None = None):
+        """Yield :class:`FrameResult`\\ s for the next ``n_frames`` frames
+        (default: the sequence's nominal length), strictly in order."""
+        if n_frames is None:
+            n_frames = self.sequence.config.n_frames
+        for _ in range(n_frames):
+            index = self._next_frame
+            self._next_frame += 1
+            arrival_s = (index * self.period_ms) / 1e3
+            if (
+                self.drop_late
+                and self.deadline_ms is not None
+                and self._clock > arrival_s + self.deadline_ms / 1e3
+            ):
+                # The frame's budget was gone before we could even start:
+                # shed it rather than burn simulation time on a stale frame.
+                self._stats.frames += 1
+                self._stats.dropped += 1
+                yield FrameResult(index=index, dropped=True)
+                continue
+            t0 = time.perf_counter()
+            result = self.executor.run_batch([self.request(index)])[0]
+            latency = time.perf_counter() - t0
+            self._clock = max(self._clock, arrival_s) + latency
+            self._stats.frames += 1
+            self._stats.wall_seconds += latency
+            frame = FrameResult(
+                index=index, result=result, latency_ms=latency * 1e3
+            )
+            if frame.rejected:
+                self._stats.rejected += 1
+            else:
+                self._stats.completed += 1
+                self._stats.latencies_ms.append(frame.latency_ms)
+            if result.deadline_met is True:
+                self._stats.deadline_met += 1
+            elif result.deadline_met is False:
+                self._stats.deadline_missed += 1
+            yield frame
+
+    def run(self, n_frames: int | None = None) -> list[FrameResult]:
+        """Serve the next ``n_frames`` frames; results in frame order."""
+        return list(self.play(n_frames))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> StreamStats:
+        return self._stats
+
+    def summary(self) -> dict:
+        """Session + tile + executor stats in one serializable dict."""
+        out = self._stats.summary()
+        out["benchmark"] = self.benchmark
+        out["sequence"] = self.sequence.token
+        out["geometry_only"] = self.geometry_only
+        if self.tile_cache is not None:
+            out["tiles"] = self.tile_cache.stats().snapshot()
+        executor_stats = self.executor.stats()
+        out["executor"] = executor_stats.summary()
+        return out

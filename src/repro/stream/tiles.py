@@ -1,0 +1,195 @@
+"""Spatial tile partitioning and per-tile content addressing.
+
+A *tile* is an axis-aligned grid cell of side ``tile_size`` (meters for
+continuous clouds, voxel units for integer coordinates).  Tiling is the
+unit of incremental reuse in the streaming subsystem: a mapping op over a
+frame decomposes into per-tile sub-problems whose inputs are the tile's
+own points plus a *halo* of neighboring tiles, and each sub-problem is
+content-addressed with the same BLAKE2b digest discipline
+:class:`~repro.engine.MapCache` uses — digest over the raw bytes (dtype
+and shape included) of exactly the arrays the sub-result depends on, plus
+a canonical rendering of the op params.  Unchanged regions of consecutive
+frames therefore produce *equal* sub-keys even though the whole-frame
+arrays differ.
+
+Order matters as much as content: sub-results store positions into their
+input slices, so a digest must cover point *order*, not just the point
+set.  Partitions preserve each tile's points in original-array order, and
+halos are materialized in ascending global-index order — both are stable
+between frames when points only enter/leave elsewhere, which is exactly
+what the world-frame sequence generator (and sorted voxel arrays)
+guarantee.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+
+import numpy as np
+
+__all__ = ["TilePartition", "halo_box", "partition", "tile_coords", "content_digest"]
+
+_DIGEST_SIZE = 16
+
+
+def tile_coords(points: np.ndarray, tile_size) -> np.ndarray:
+    """Integer tile coordinates ``floor(p / tile_size)`` per point."""
+    points = np.asarray(points)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (N, D), got {points.shape}")
+    if np.issubdtype(points.dtype, np.integer):
+        return np.floor_divide(points, int(tile_size))
+    return np.floor(points / float(tile_size)).astype(np.int64)
+
+
+def _pack(tiles: np.ndarray) -> np.ndarray:
+    """Pack tile coordinates into orderable int64 keys (21 bits per axis,
+    the library-wide ranking-key convention)."""
+    from ..pointcloud.coords import coords_to_keys
+
+    return coords_to_keys(tiles)
+
+
+def content_digest(*parts) -> bytes:
+    """BLAKE2b digest over arrays (bytes + dtype + shape) and str/bytes parts."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        elif isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+    return h.digest()
+
+
+class TilePartition:
+    """One cloud split into tiles, with per-tile indices and digests.
+
+    ``indices(key)`` returns the positions of a tile's points in the
+    original array, in original order (stable ``argsort`` grouping), so a
+    tile's content — and therefore its digest — is independent of every
+    other tile.
+    """
+
+    def __init__(self, points: np.ndarray, tile_size) -> None:
+        self.points = np.asarray(points)
+        self.tile_size = tile_size
+        tiles = tile_coords(self.points, tile_size)
+        self._ndim = tiles.shape[1]
+        self._keys = _pack(tiles)
+        order = np.argsort(self._keys, kind="stable")
+        sorted_keys = self._keys[order]
+        unique_keys, starts = np.unique(sorted_keys, return_index=True)
+        self._groups: dict[int, np.ndarray] = {}
+        bounds = np.append(starts, len(sorted_keys))
+        for i, key in enumerate(unique_keys.tolist()):
+            self._groups[key] = order[bounds[i]:bounds[i + 1]]
+        self._tile_by_key = {
+            int(k): tiles[idx[0]] for k, idx in self._groups.items()
+        }
+        self._digests: dict[int, bytes] = {}
+        self._neighborhoods: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def keys(self):
+        """Occupied tile keys (ascending)."""
+        return self._groups.keys()
+
+    def tile_of_key(self, key: int) -> np.ndarray:
+        """The (D,) integer tile coordinate behind a packed key."""
+        return self._tile_by_key[key]
+
+    def indices(self, key: int) -> np.ndarray:
+        """Original-array positions of the tile's points (original order),
+        or an empty index array for an unoccupied tile."""
+        idx = self._groups.get(key)
+        if idx is None:
+            return np.empty(0, dtype=np.intp)
+        return idx
+
+    def digest(self, key: int) -> bytes:
+        """Content digest of one tile (cached; empty tiles digest too)."""
+        d = self._digests.get(key)
+        if d is None:
+            d = content_digest(self.points[self.indices(key)])
+            self._digests[key] = d
+        return d
+
+    def neighborhood(self, key: int, halo: int) -> tuple[bytes, np.ndarray]:
+        """``(digest, canonical_indices)`` of the halo box around a tile.
+
+        The digest covers each constituent tile's content in fixed
+        relative-offset order (``b"\\x00"`` for unoccupied cells); the
+        canonical index array concatenates the constituent tiles in that
+        same order, each tile's points in original order.  The pair is the
+        foundation of relocatable sub-results: a stored value indexed into
+        the canonical concatenation means the same points wherever (and
+        whenever) an equal digest recurs.  Cached per ``(key, halo)``.
+        """
+        cached = self._neighborhoods.get((key, halo))
+        if cached is not None:
+            return cached
+        h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        parts = []
+        for box_key in (key + _delta_keys(halo, self._ndim)).tolist():
+            idx = self._groups.get(box_key)
+            if idx is None:
+                h.update(b"\x00")
+            else:
+                h.update(self.digest(box_key))
+                parts.append(idx)
+        canonical = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+        )
+        result = (h.digest(), canonical)
+        self._neighborhoods[(key, halo)] = result
+        return result
+
+    def halo_indices(self, key: int, halo: int) -> np.ndarray:
+        """Ascending original-array positions of all points within ``halo``
+        tiles (Chebyshev) of the tile behind ``key`` — itself included."""
+        return np.sort(self.neighborhood(key, halo)[1])
+
+
+@functools.lru_cache(maxsize=32)
+def _delta_keys(halo: int, ndim: int) -> np.ndarray:
+    """Packed-key deltas of the halo box: the per-axis bit fields of
+    :func:`~repro.pointcloud.coords.coords_to_keys` are additive for
+    in-range offsets, so ``key(tile + delta) == key(tile) + delta_key``."""
+    from ..pointcloud.coords import _KEY_BITS_PER_AXIS
+
+    shifts = np.array(
+        [1 << (_KEY_BITS_PER_AXIS * (ndim - 1 - d)) for d in range(ndim)],
+        dtype=np.int64,
+    )
+    return halo_box(halo, ndim) @ shifts
+
+
+@functools.lru_cache(maxsize=32)
+def halo_box(halo: int, ndim: int) -> np.ndarray:
+    """All integer offsets in ``{-halo..halo}^ndim``, lexicographic order.
+
+    Cached (it runs once per tile per op call) — treat the result as
+    read-only.
+    """
+    if halo < 0:
+        raise ValueError(f"halo must be >= 0, got {halo}")
+    rng = np.arange(-halo, halo + 1, dtype=np.int64)
+    grids = np.meshgrid(*([rng] * ndim), indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def partition(points: np.ndarray, tile_size) -> TilePartition:
+    """Convenience constructor for :class:`TilePartition`."""
+    return TilePartition(points, tile_size)

@@ -106,6 +106,35 @@ class TestDiskSpill:
         warm = SharedMapStore()
         assert warm.load(cache_dir) == 2
         assert warm.disk_errors == 1
+        # Foreign files are not ours to delete — only corrupt *spills* go.
+        assert (cache_dir / "zz-not-hex.map").is_file()
+
+    def test_corrupt_spill_is_deleted_and_slot_rewritable(self, cache_dir):
+        """Regression: a truncated spill (killed mid-write without the tmp
+        rename, disk-full debris) must be treated as a miss, removed, and
+        rewritable by the recompute — not resurface as an error forever."""
+        store = SharedMapStore(cache_dir=cache_dir)
+        keys = _fill(store)
+        path = cache_dir / (keys[0].hex() + ".map")
+        path.write_bytes(pickle.dumps(np.arange(8))[:7])  # truncated pickle
+        fresh = SharedMapStore(cache_dir=cache_dir)
+        assert fresh.get(keys[0], "op") is None
+        assert fresh.disk_errors == 1
+        assert not path.is_file()  # deleted on sight
+        fresh.put(keys[0], np.arange(8), "op")  # recompute rewrites the slot
+        rewarm = SharedMapStore(cache_dir=cache_dir)
+        assert np.array_equal(rewarm.get(keys[0], "op"), np.arange(8))
+        assert rewarm.disk_errors == 0
+
+    def test_corrupt_spill_deleted_by_bulk_load(self, cache_dir):
+        store = SharedMapStore(cache_dir=cache_dir)
+        keys = _fill(store)
+        path = cache_dir / (keys[2].hex() + ".map")
+        path.write_bytes(b"\x80")  # unreadable pickle
+        warm = SharedMapStore()
+        assert warm.load(cache_dir) == 2
+        assert warm.disk_errors == 1
+        assert not path.is_file()
 
     def test_snapshot_reports_disk_tier(self, cache_dir):
         store = SharedMapStore(cache_dir=cache_dir)

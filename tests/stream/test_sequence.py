@@ -1,0 +1,101 @@
+"""Frame sequences: determinism, overlap structure, registry plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.registry import get_benchmark, run_benchmark, split_notation
+from repro.stream import FrameSequence, SequenceConfig, get_sequence
+
+CFG = SequenceConfig(seed=5, n_frames=6, base_points=3000)
+
+
+@pytest.fixture
+def seq():
+    return FrameSequence(CFG)
+
+
+class TestDeterminism:
+    def test_frames_reproducible(self, seq):
+        a = seq.frame(3, scale=0.5).points
+        b = FrameSequence(CFG).frame(3, scale=0.5).points
+        assert np.array_equal(a, b)
+
+    def test_token_is_config_content(self, seq):
+        assert seq.token == FrameSequence(CFG).token
+        assert seq.token != FrameSequence(SequenceConfig(seed=6)).token
+
+    def test_frame_index_validated(self, seq):
+        with pytest.raises(ValueError):
+            seq.frame(-1)
+
+
+class TestOverlapStructure:
+    def test_consecutive_frames_share_exact_points(self, seq):
+        """The temporal-reuse premise: a large fraction of world points are
+        bit-identical between consecutive frames, in stable relative order."""
+        f0 = seq.frame(0, scale=0.5).points
+        f1 = seq.frame(1, scale=0.5).points
+        set0 = {p.tobytes() for p in f0}
+        shared = [p.tobytes() for p in f1 if p.tobytes() in set0]
+        assert len(shared) > 0.6 * min(len(f0), len(f1))
+        # Stable order: shared points appear in the same relative order.
+        pos0 = {p.tobytes(): i for i, p in enumerate(f0)}
+        order = [pos0[b] for b in shared]
+        assert order == sorted(order)
+
+    def test_ego_motion_turns_over_the_fov(self, seq):
+        f0 = seq.frame(0, scale=0.5).points
+        # After driving a full FOV length, the frame is (mostly) new ground.
+        far_index = int((2 * CFG.fov) / CFG.speed) + 2
+        f_far = seq.frame(far_index, scale=0.5).points
+        set0 = {p.tobytes() for p in f0}
+        shared = sum(1 for p in f_far if p.tobytes() in set0)
+        assert shared < 0.1 * len(f_far)
+
+    def test_frames_track_the_ego_window(self, seq):
+        # Static points respect the FOV box exactly; dynamic objects are
+        # gated on their *center*, so their extent (a car length) and
+        # jitter may poke past the edge.
+        margin = 6.0
+        for i in (0, 2, 5):
+            pts = seq.frame(i, scale=0.5).points
+            assert np.all(
+                np.abs(pts[:, 0] - seq.ego_position(i)) <= CFG.fov + margin
+            )
+
+
+class TestRegistryPlumbing:
+    def test_notation_registers_and_resolves(self, seq):
+        notation = seq.notation("PointNet++(c)")
+        base, source = split_notation(notation)
+        assert base == "PointNet++(c)"
+        scheme, _, token = source.partition(":")
+        assert scheme == "stream"
+        assert get_sequence(token) is seq
+        assert get_benchmark(notation).notation == "PointNet++(c)"
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            get_sequence("feedfacefeedface")
+
+    def test_run_benchmark_uses_the_frame(self, seq):
+        notation = seq.notation("PointNet++(c)")
+        trace, _ = run_benchmark(notation, scale=0.4, seed=2)
+        assert trace.input_points == seq.frame(2, scale=0.4).n
+
+    def test_model_seed_fixed_across_frames(self, seq):
+        """Frame index picks the cloud, not the weights: equal layer shapes
+        and channel plans across frames of one sequence."""
+        notation = seq.notation("PointNet++(c)")
+        t2, _ = run_benchmark(notation, scale=0.4, seed=2)
+        t4, _ = run_benchmark(notation, scale=0.4, seed=4)
+        assert [s.name for s in t2] == [s.name for s in t4]
+
+    def test_geometry_only_sparseconv_trace_matches_functional(self, seq):
+        notation = seq.notation("MinkNet(i)")
+        full, _ = run_benchmark(notation, scale=0.3, seed=1)
+        geo, out = run_benchmark(notation, scale=0.3, seed=1, geometry_only=True)
+        assert [s.name for s in full] == [s.name for s in geo]
+        for a, b in zip(full, geo):
+            assert (a.kind, a.n_in, a.n_out, a.c_in, a.c_out, a.rows, a.n_maps) \
+                == (b.kind, b.n_in, b.n_out, b.c_in, b.c_out, b.rows, b.n_maps)

@@ -19,6 +19,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "AlexNet"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["serve-stream"])
+        assert args.benchmark == "MinkNet(o)"
+        assert args.shards == 0 and not args.no_tiles
+
+    def test_bench_stream_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-stream", "--benchmark", "VGG"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -133,6 +142,80 @@ class TestCommands:
         assert "speedup" in out
         assert "bit-identical: yes" in out
         assert "warm cluster" in out
+
+    def test_serve_sim_reports_per_op_breakdown(self, capsys):
+        assert main(["serve-sim", "--requests", "4", "--scale", "0.1",
+                     "--benchmarks", "PointNet++(c)"]) == 0
+        out = capsys.readouterr().out
+        assert "map cache by op" in out
+        assert "fps" in out and "ball_query" in out
+
+    def test_serve_cluster_reports_per_op_breakdown(self, capsys):
+        assert main(["serve-cluster", "--requests", "4", "--scale", "0.1",
+                     "--benchmarks", "PointNet++(c)", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "map lookups by op" in out
+        assert "fps" in out
+
+    def test_serve_stream(self, capsys):
+        code = main(["serve-stream", "--frames", "3", "--scale", "0.12",
+                     "--benchmark", "MinkNet(o)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 3/3 frames" in out
+        assert "tile cache:" in out
+        assert "tile reuse by op" in out
+        assert "geometry-only: yes" in out
+
+    def test_serve_stream_cluster_with_deadlines(self, capsys):
+        code = main(["serve-stream", "--frames", "2", "--scale", "0.1",
+                     "--benchmark", "PointNet++(c)", "--shards", "2",
+                     "--deadline-ms", "1e9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2/2 frames" in out
+        assert "met" in out
+
+    def test_bench_stream_with_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_stream.json"
+        code = main(["bench-stream", "--frames", "2", "--scale", "0.12",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: yes" in out
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "bench-stream"
+        assert payload["mismatches"] == 0
+        assert payload["speedup"] > 0
+        assert "tiles" in payload
+
+    def test_bench_engine_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        code = main(["bench-engine", "--benchmarks", "PointNet++(c)",
+                     "--repeats", "2", "--seeds", "1", "--scale", "0.1",
+                     "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "bench-engine"
+        assert payload["mismatches"] == 0
+        assert "by_op" in payload["map_cache"]
+
+    def test_bench_cluster_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_cluster.json"
+        code = main(["bench-cluster", "--benchmarks", "PointNet++(c)",
+                     "--repeats", "2", "--seeds", "1", "--scale", "0.1",
+                     "--shards", "2", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "bench-cluster"
+        assert payload["speedup"] > 0
+        assert len(payload["shard_requests"]) == 2
 
 
 class TestErrorPaths:

@@ -74,6 +74,14 @@ def test_cluster_serving(capsys):
     assert "warm start" in out
 
 
+def test_stream_serving(capsys):
+    run_example("stream_serving.py", ["--frames", "3", "--scale", "0.12"])
+    out = capsys.readouterr().out
+    assert "tile reuse" in out
+    assert "frames/s" in out
+    assert "bit-identical -> True" in out
+
+
 def test_memory_system_demo(capsys):
     run_example("memory_system_demo.py")
     out = capsys.readouterr().out
