@@ -11,6 +11,8 @@
 #   make bench-cluster- cluster throughput + persistence smoke at reduced scale
 #   make bench-stream - streaming throughput (warm stream vs cold per-frame)
 #                       at reduced scale
+#   make bench-fleet  - fleet throughput (cross-stream sharing vs per-stream
+#                       caching; the benchmark pins its own scale)
 
 PYTHON      ?= python
 PYTHONPATH  := src
@@ -18,7 +20,7 @@ SMOKE_SCALE ?= 0.1
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream
+.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream bench-fleet
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,3 +49,6 @@ bench-cluster:
 bench-stream:
 	REPRO_BENCH_SCALE=$(SMOKE_SCALE) $(PYTHON) -m pytest \
 		benchmarks/test_stream_throughput.py -q
+
+bench-fleet:
+	$(PYTHON) -m pytest benchmarks/test_fleet_throughput.py -q

@@ -16,11 +16,16 @@ Commands:
                      the disk-persistence warm-start path;
 * ``serve-stream`` — serve a temporal LiDAR frame sequence with
                      tile-granular incremental map reuse;
-* ``bench-stream`` — warm streaming vs cold per-frame simulation.
+* ``bench-stream`` — warm streaming vs cold per-frame simulation;
+* ``serve-fleet``  — serve several concurrent tenant streams over one
+                     cluster with cross-stream world-tile sharing;
+* ``bench-fleet``  — shared fleet vs the same streams with per-stream-only
+                     caching.
 
 The ``bench-*`` commands accept ``--json PATH`` to additionally write the
 measured numbers as machine-readable JSON (CI archives these as
-``BENCH_*.json`` perf trajectories).
+``BENCH_*.json`` perf trajectories).  Every payload carries a ``schema``
+version field so downstream consumers can detect format drift.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ from .engine import (
 )
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import format_table
+from .fleet import FleetSession, StreamSpec
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
 from .stream import FrameSequence, SequenceConfig, StreamSession
 
@@ -58,6 +64,11 @@ __all__ = ["main"]
 
 class CLIError(Exception):
     """A user-input problem: main() prints the message and exits 2."""
+
+
+#: Version of every ``bench-* --json`` payload format.  Bump when a key is
+#: renamed/removed or its meaning changes; adding keys is compatible.
+BENCH_JSON_SCHEMA = 1
 
 
 def cmd_list(_args) -> int:
@@ -240,6 +251,7 @@ def _merge_by_op(dicts) -> dict:
 
 
 def _write_json(path: str, payload: dict) -> None:
+    payload = {"schema": BENCH_JSON_SCHEMA, **payload}
     try:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -613,6 +625,187 @@ def cmd_bench_stream(args) -> int:
     return code
 
 
+def _fleet_specs(args) -> list[StreamSpec]:
+    """The fleet's streams: N vehicles on one road (same world seed,
+    staggered ``start_x``, per-vehicle sensor noise) or — with
+    ``--disjoint`` — N separate worlds."""
+    if args.streams < 1:
+        raise CLIError(f"--streams must be >= 1, got {args.streams}")
+    specs = []
+    for i in range(args.streams):
+        config = SequenceConfig(
+            seed=args.seq_seed + (i if args.disjoint else 0),
+            n_frames=args.frames,
+            speed=args.speed,
+            fov=args.fov,
+            start_x=0.0 if args.disjoint else i * args.start_gap,
+            sensor_seed=0 if args.disjoint else i,
+        )
+        specs.append(StreamSpec(
+            name=f"veh{i}",
+            sequence=FrameSequence(config),
+            benchmark=args.benchmark,
+            scale=args.scale,
+            n_frames=args.frames,
+            deadline_ms=args.deadline_ms,
+        ))
+    return specs
+
+
+def _build_fleet_session(args) -> FleetSession:
+    """Shared serve-fleet / bench-fleet session construction."""
+    return FleetSession(
+        _fleet_specs(args),
+        backends=_parse_backends(args.backends),
+        n_shards=args.shards,
+        tile_size=args.tile_size,
+        halo=args.halo,
+        use_tiles=not args.no_tiles,
+        share_world_tiles=not args.no_share,
+    )
+
+
+def _print_world_tiles(summary: dict) -> None:
+    world = summary.get("world_tiles")
+    if not world:
+        return
+    print(f"world tiles: {world['self_hits']} self hits, "
+          f"{world['cross_hits']} cross-stream hits, "
+          f"{world['external_hits']} external, {world['misses']} misses "
+          f"({world['shared_keys']} tile keys shared across streams)")
+    per_op = {
+        op: {"hits": c["self_hits"] + c["cross_hits"] + c["external_hits"],
+             "misses": c["misses"]}
+        for op, c in world["by_op"].items()
+    }
+    print(f"tile reuse by op (hits/lookups): {_format_by_op(per_op)}")
+
+
+def cmd_serve_fleet(args) -> int:
+    """Serve N concurrent tenant streams over one shared cluster."""
+    if args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}",
+              file=sys.stderr)
+        return 2
+    try:
+        session = _build_fleet_session(args)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    print(f"{'frame':>5s} {'stream':>6s} {'points':>7s} "
+          f"{'pointacc ms':>12s} {'wall ms':>8s} {'deadline':>8s}")
+    for round_results in session.play():
+        for name, frame in round_results:
+            if frame.rejected:
+                print(f"{frame.index:5d} {name:>6s} {'-':>7s} "
+                      f"{'rejected':>12s} {'-':>8s} {'-':>8s}")
+                continue
+            rep = frame.result.reports.get("pointacc")
+            modeled = (f"{rep.total_seconds * 1e3:12.3f}" if rep
+                       else " unsupported")
+            n_pts = frame.result.trace.input_points if frame.result.trace else 0
+            deadline = {True: "met", False: "MISSED", None: "-"}[
+                frame.result.deadline_met
+            ]
+            print(f"{frame.index:5d} {name:>6s} {n_pts:7d} {modeled} "
+                  f"{frame.latency_ms:8.1f} {deadline:>8s}")
+    summary = session.summary()
+    print(f"\nserved {summary['completed']}/{summary['frames']} frames "
+          f"from {len(session.streams)} streams "
+          f"({summary['rejected']} rejected) in "
+          f"{summary['wall_seconds']:.3f}s "
+          f"({summary['throughput_fps']:.1f} frames/s, "
+          f"{summary['rounds']} rounds, shards={args.shards})")
+    for name, tally in summary["per_stream"].items():
+        print(f"stream {name}: {tally['completed']}/{tally['frames']} "
+              f"completed, {tally['deadline_met']} met / "
+              f"{tally['deadline_missed']} missed")
+    _print_world_tiles(summary)
+    return 0
+
+
+def cmd_bench_fleet(args) -> int:
+    """Shared fleet vs the same streams with per-stream-only caching."""
+    if args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}",
+              file=sys.stderr)
+        return 2
+    backends = _parse_backends(args.backends)
+    first = backends[0]
+    try:
+        session = _build_fleet_session(args)
+        specs = session.streams
+    except (KeyError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    # Pre-build each sequence's static world (and thereby the resident
+    # model) outside both timed passes: the synthetic generator is shared
+    # fixture, not the serving system, and whichever side ran first would
+    # otherwise pay it for the other.
+    for spec in specs:
+        spec.sequence.frame(0, scale=spec.scale)
+
+    # Baseline: the identical streams, each with its own engine and its
+    # own private tile cache — temporal reuse yes, cross-stream reuse no.
+    solo_sessions = {
+        spec.name: StreamSession(
+            spec.sequence, spec.benchmark, backends=backends,
+            scale=spec.scale, tile_size=args.tile_size, halo=args.halo,
+            use_tiles=not args.no_tiles, tenant=spec.name,
+        )
+        for spec in specs
+    }
+    t0 = time.perf_counter()
+    solo_results = {
+        name: s.run(args.frames) for name, s in solo_sessions.items()
+    }
+    solo_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fleet_results = session.run()
+    fleet_s = time.perf_counter() - t0
+
+    mismatch = sum(
+        a.result.reports.get(first) != b.result.reports.get(first)
+        for name in solo_results
+        for a, b in zip(solo_results[name], fleet_results[name])
+    )
+    summary = session.summary()
+    world = summary.get("world_tiles", {})
+    n = summary["frames"]
+    rows = [
+        ["per-stream caching", f"{solo_s:.3f}", f"{n / solo_s:.2f}", "-"],
+        ["shared fleet", f"{fleet_s:.3f}", f"{n / fleet_s:.2f}",
+         f"{world.get('cross_hits', 0)}"],
+    ]
+    print(format_table(
+        ["mode", "wall s", "frames/s", "cross-stream hits"],
+        rows,
+        title=(f"{len(specs)} streams x {args.frames} frames: "
+               f"{args.benchmark} @ scale {args.scale}, "
+               f"{'disjoint' if args.disjoint else 'overlapping'} regions"),
+    ))
+    code = _print_speedup(solo_s, fleet_s, mismatch)
+    _print_world_tiles(summary)
+    if args.json:
+        _write_json(args.json, {
+            "command": "bench-fleet",
+            "streams": len(specs),
+            "frames_per_stream": args.frames,
+            "benchmark": args.benchmark,
+            "scale": args.scale,
+            "disjoint": bool(args.disjoint),
+            "start_gap": args.start_gap,
+            "shards": args.shards,
+            "tile_size": args.tile_size,
+            "halo": args.halo,
+            "solo_seconds": solo_s,
+            "fleet_seconds": fleet_s,
+            "speedup": solo_s / fleet_s,
+            "mismatches": mismatch,
+            "world_tiles": world,
+        })
+    return code
+
+
 def _build_stream_session(args) -> StreamSession:
     """Shared serve-stream / bench-stream session construction."""
     sequence = FrameSequence(SequenceConfig(
@@ -623,7 +816,7 @@ def _build_stream_session(args) -> StreamSession:
     ))
     cluster = None
     if args.shards > 0:
-        from .stream import TileMapCache
+        from .stream import TileMapCache, streaming_map_cache
 
         cluster = EngineCluster(
             n_shards=args.shards,
@@ -632,6 +825,7 @@ def _build_stream_session(args) -> StreamSession:
                 TileMapCache(tile_size=args.tile_size, halo=args.halo)
                 if not args.no_tiles else None
             ),
+            map_cache=streaming_map_cache,
         )
     return StreamSession(
         sequence,
@@ -783,6 +977,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_stream_args(bs_p)
     add_json_arg(bs_p)
 
+    def add_fleet_args(p):
+        p.add_argument("--streams", type=int, default=3,
+                       help="concurrent tenant streams (vehicles)")
+        p.add_argument("--frames", type=int, default=4,
+                       help="frames per stream")
+        p.add_argument("--benchmark", default="MinkNet(o)",
+                       choices=[*BENCHMARKS, MINI_MINKUNET.notation])
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seq-seed", type=int, default=0,
+                       help="world/weights seed (stream i adds i with "
+                            "--disjoint)")
+        p.add_argument("--speed", type=float, default=2.0,
+                       help="ego meters per frame")
+        p.add_argument("--fov", type=float, default=24.0,
+                       help="field-of-view half-side, meters")
+        p.add_argument("--start-gap", type=float, default=1.0,
+                       help="start_x stagger between vehicles, meters")
+        p.add_argument("--disjoint", action="store_true",
+                       help="give each stream its own world (no overlap)")
+        p.add_argument("--tile-size", type=float, default=4.0)
+        p.add_argument("--halo", type=int, default=1)
+        p.add_argument("--no-tiles", action="store_true",
+                       help="disable the tile front (digest tiers only)")
+        p.add_argument("--no-share", action="store_true",
+                       help="drop the WorldTileStore attribution front")
+        p.add_argument("--backends", default="pointacc")
+        p.add_argument("--shards", type=int, default=2,
+                       help="cluster shards (0 = single shared engine)")
+        p.add_argument("--deadline-ms", type=float, default=None)
+
+    sf_p = sub.add_parser(
+        "serve-fleet",
+        help="serve concurrent tenant streams with cross-stream tile sharing",
+    )
+    add_fleet_args(sf_p)
+
+    bf_p = sub.add_parser(
+        "bench-fleet",
+        help="shared fleet vs per-stream-only caching throughput",
+    )
+    add_fleet_args(bf_p)
+    add_json_arg(bf_p)
+
     return parser
 
 
@@ -800,6 +1037,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-cluster": cmd_bench_cluster,
         "serve-stream": cmd_serve_stream,
         "bench-stream": cmd_bench_stream,
+        "serve-fleet": cmd_serve_fleet,
+        "bench-fleet": cmd_bench_fleet,
     }
     try:
         return handlers[args.command](args)

@@ -53,6 +53,7 @@ class ClusterStats:
     tenants: dict = field(default_factory=dict)  # tenant -> TenantAccount.summary()
     shards: list = field(default_factory=list)  # per-shard EngineStats.summary()
     l2: dict = field(default_factory=dict)  # SharedMapStore snapshot
+    front: dict = field(default_factory=dict)  # shared tile front snapshot
 
     @property
     def throughput_rps(self) -> float:
@@ -72,6 +73,7 @@ class ClusterStats:
             "tenants": dict(self.tenants),
             "shards": list(self.shards),
             "l2": dict(self.l2),
+            "front": dict(self.front),
         }
 
 
@@ -89,7 +91,11 @@ class EngineCluster:
         ``"least-loaded"`` (balance estimated work).
     map_cache:
         Per-shard L1 policy: ``"auto"`` gives each shard a private
-        :class:`MapCache`, ``None`` disables the L1 tier.
+        :class:`MapCache`, ``None`` disables the L1 tier, and a callable
+        is invoked once per shard to build its cache — the hook for
+        sizing L1s to the workload (tile-decomposed streaming emits
+        thousands of sub-entries per frame, far beyond the default
+        4096-entry bound).
     l2:
         The shared tier: ``"auto"`` builds a :class:`SharedMapStore`
         (persistent iff ``cache_dir`` is given), ``None`` disables L2, or
@@ -103,6 +109,9 @@ class EngineCluster:
         :class:`~repro.engine.SimulationEngine`); tile sub-results land in
         each shard's private L1 *and* the shared L2, so a tile computed on
         one shard serves every shard — and persists with ``cache_dir``.
+        Fleet serving passes a :class:`~repro.fleet.WorldTileStore`-wrapped
+        front here so those hits are additionally attributed per stream;
+        its snapshot surfaces as ``ClusterStats.front``.
     """
 
     def __init__(
@@ -125,11 +134,18 @@ class EngineCluster:
         self.l2 = l2
         self.tile_cache = tile_cache
         self.qos = QoSScheduler()
+        def shard_l1():
+            if map_cache == "auto":
+                return MapCache()
+            if callable(map_cache):
+                return map_cache()
+            return map_cache
+
         self.shards = [
             SimulationEngine(
                 backends=backends,
                 policy=policy,
-                map_cache=MapCache() if map_cache == "auto" else map_cache,
+                map_cache=shard_l1(),
                 l2=l2,
                 tile_cache=tile_cache,
                 reuse_traces=reuse_traces,
@@ -247,6 +263,10 @@ class EngineCluster:
             tenants=self.qos.summary(),
             shards=[shard.stats().summary() for shard in self.shards],
             l2=self.l2.stats().snapshot() if self.l2 is not None else {},
+            front=(
+                self.tile_cache.stats().snapshot()
+                if self.tile_cache is not None else {}
+            ),
         )
 
     def save_cache(self, cache_dir=None) -> int:

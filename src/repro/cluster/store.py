@@ -20,6 +20,12 @@ Corrupt or unreadable spill files are treated as misses (counted in
 store is a cache, and the contract everywhere in this repo is that caching
 may change wall-clock only, never a result.  Deleting the bad file lets
 the recompute that the miss triggers rewrite the slot cleanly.
+
+Disk growth is bounded when ``max_disk_bytes`` is set: after each spill the
+directory is brought back under budget by deleting least-recently-used
+entry files (disk hits refresh a file's mtime, so recency survives across
+processes).  An unbounded store (the default) keeps the original
+disk-is-the-overflow-tier behaviour.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ import os
 import pathlib
 import pickle
 
-from ..engine.map_cache import MapCache
+from ..engine.map_cache import MapCache, _copy_value
 
 __all__ = ["SharedMapStore"]
 
@@ -49,6 +55,15 @@ class SharedMapStore(MapCache):
     write_through:
         Spill every insert immediately (default).  With ``False``, disk is
         only written by an explicit :meth:`save`.
+    max_disk_bytes:
+        Byte budget for the spill directory, or ``None`` (default) for
+        unbounded growth.  Enforced after every write: least-recently-used
+        spill files (oldest mtime, name-tiebroken) are deleted until the
+        directory's ``*.map`` payload fits the budget — strictly, so an
+        entry larger than the whole budget is itself dropped from disk
+        (it stays served from memory).  Evictions count in
+        ``disk_evictions``; an evicted key simply misses on disk later and
+        recomputes, never fails.
     """
 
     def __init__(
@@ -57,15 +72,26 @@ class SharedMapStore(MapCache):
         max_bytes: int = 1024 * 1024 * 1024,
         cache_dir: str | os.PathLike | None = None,
         write_through: bool = True,
+        max_disk_bytes: int | None = None,
     ) -> None:
         super().__init__(max_entries=max_entries, max_bytes=max_bytes)
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
         self.write_through = write_through
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError(
+                f"max_disk_bytes must be >= 1 or None, got {max_disk_bytes}"
+            )
+        self.max_disk_bytes = max_disk_bytes
+        # Running estimate of the spill payload; None until the first
+        # ground-truth scan.  Kept so budgeted stores do not re-scan the
+        # directory on every write — see _enforce_disk_budget.
+        self._disk_bytes_estimate: int | None = None
         # Disk-tier counters live in the stats object's `extra` slot so they
         # appear in every snapshot, including nested tier snapshots taken by
         # TieredLookup.
         self.stats().extra.update(
-            {"disk_hits": 0, "disk_errors": 0, "persistent": self.cache_dir is not None}
+            {"disk_hits": 0, "disk_errors": 0, "disk_evictions": 0,
+             "persistent": self.cache_dir is not None}
         )
 
     @property
@@ -91,6 +117,63 @@ class SharedMapStore(MapCache):
         with open(tmp, "wb") as fh:
             pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)  # atomic: a reader never sees a partial file
+        self._enforce_disk_budget(cache_dir, path)
+
+    def _enforce_disk_budget(self, cache_dir: pathlib.Path,
+                             wrote: pathlib.Path) -> None:
+        """Delete LRU spill files until the directory fits the budget.
+
+        Recency is file mtime (writes stamp it, disk hits refresh it), so
+        the order is meaningful across store instances and processes
+        sharing one directory.  Ties break on name for determinism.
+
+        The directory is only re-scanned when the running byte estimate
+        crosses the budget (or does not exist yet): the estimate grows on
+        every write and never shrinks on its own, so it can only err
+        *upward* — toward an early rescan, never toward missing an
+        overflow — which keeps the common write O(1) instead of
+        O(spilled files), while staying correct when several processes
+        share one directory.
+        """
+        if self.max_disk_bytes is None:
+            return
+        if self._disk_bytes_estimate is not None:
+            try:
+                self._disk_bytes_estimate += wrote.stat().st_size
+            except OSError:
+                self._disk_bytes_estimate = None  # force a rescan
+            if (
+                self._disk_bytes_estimate is not None
+                and self._disk_bytes_estimate <= self.max_disk_bytes
+            ):
+                return
+        entries = []
+        try:
+            with os.scandir(cache_dir) as it:
+                for dirent in it:
+                    if not dirent.name.endswith(_SUFFIX):
+                        continue
+                    try:
+                        st = dirent.stat()
+                    except OSError:
+                        continue
+                    entries.append((st.st_mtime, dirent.name, st.st_size))
+        except OSError:
+            return
+        total = sum(size for _, _, size in entries)
+        self._disk_bytes_estimate = total
+        if total <= self.max_disk_bytes:
+            return
+        for _, name, size in sorted(entries):
+            try:
+                os.unlink(cache_dir / name)
+            except OSError:
+                continue
+            self.stats().extra["disk_evictions"] += 1
+            total -= size
+            self._disk_bytes_estimate = total
+            if total <= self.max_disk_bytes:
+                return
 
     def _read_entry(self, key: bytes):
         path = self._path(key)
@@ -115,10 +198,10 @@ class SharedMapStore(MapCache):
     # MapCache protocol, extended with the disk tier
     # ------------------------------------------------------------------
 
-    def get(self, key: bytes, op: str = "?"):
+    def get(self, key: bytes, op: str = "?", copy: bool = True):
         stats = self.stats()
         eviction_misses_before = stats.eviction_misses
-        value = super().get(key, op)
+        value = super().get(key, op, copy=copy)
         if value is not None or self.cache_dir is None:
             return value
         value = self._read_entry(key)
@@ -126,17 +209,25 @@ class SharedMapStore(MapCache):
             return None
         # Disk hit: promote into memory (no re-spill) and repair the
         # counters — super().get already recorded a miss (and, for a
-        # memory-evicted key, an eviction miss) for this lookup.
+        # memory-evicted key, an eviction miss) for this lookup.  Refresh
+        # the file's mtime so the disk-budget LRU sees the reuse.
+        if self.max_disk_bytes is not None:
+            try:
+                os.utime(self._path(key))
+            except OSError:
+                pass
         stats.extra["disk_hits"] += 1
         stats.misses -= 1
         stats.by_op[op]["misses"] -= 1
         stats.eviction_misses = eviction_misses_before
         stats._count(op, hit=True)
-        super().put(key, value, op)
-        return value
+        # The unpickled object is exclusively ours: store it by reference
+        # and only copy toward the caller when asked to.
+        super().put(key, value, op, copy=False)
+        return _copy_value(value) if copy else value
 
-    def put(self, key: bytes, value, op: str = "?") -> None:
-        super().put(key, value, op)
+    def put(self, key: bytes, value, op: str = "?", copy: bool = True) -> None:
+        super().put(key, value, op, copy=copy)
         if self.cache_dir is not None and self.write_through:
             self._write_entry(key, value, self.cache_dir)
 

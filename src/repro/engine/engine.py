@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 from ..baselines.mesorasi import UnsupportedModelError
 from ..core.report import PerfReport
-from ..mapping.hooks import TieredLookup, use_map_cache
+from ..mapping.hooks import TieredLookup, request_context, use_map_cache
 from ..nn.models.registry import run_benchmark
 from ..nn.trace import Trace
 from .backends import resolve_backend
@@ -227,7 +227,9 @@ class SimulationEngine:
         else:
             ctx = nullcontext()
             hits0 = misses0 = 0
-        with ctx:
+        # The tenant context is observability only (cache-front hit
+        # attribution); it must never reach the compute path.
+        with request_context(request.tenant), ctx:
             trace, _ = run_benchmark(
                 request.benchmark, scale=request.scale, seed=request.seed,
                 geometry_only=request.geometry_only,

@@ -167,21 +167,32 @@ class MapCache:
     # Tier primitives: digest-keyed lookup/insert, used by TieredLookup
     # ------------------------------------------------------------------
 
-    def get(self, key: bytes, op: str = "?"):
-        """Owned copy of the entry under ``key``, or ``None`` (counted)."""
+    def get(self, key: bytes, op: str = "?", copy: bool = True):
+        """Owned copy of the entry under ``key``, or ``None`` (counted).
+
+        ``copy=False`` returns the stored object itself — for callers in
+        the immutable-value regime (the tile fronts: sub-entries are
+        composed from, never written to), where deep-copying thousands of
+        small arrays per frame is pure overhead.  Such a caller must never
+        mutate what it gets back.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self._stats._count(op, hit=True)
-            return _copy_value(entry)
+            return _copy_value(entry) if copy else entry
         self._stats._count(op, hit=False)
         if key in self._evicted:
             self._stats.eviction_misses += 1
         return None
 
-    def put(self, key: bytes, value, op: str = "?") -> None:
-        """Store a private copy of ``value`` under ``key`` (not counted)."""
-        stored = _copy_value(value)
+    def put(self, key: bytes, value, op: str = "?", copy: bool = True) -> None:
+        """Store a private copy of ``value`` under ``key`` (not counted).
+
+        ``copy=False`` stores ``value`` by reference (same immutable-value
+        contract as :meth:`get`).
+        """
+        stored = _copy_value(value) if copy else value
         previous = self._entries.pop(key, None)
         if previous is not None:
             self._stats.stored_bytes -= _value_bytes(previous)

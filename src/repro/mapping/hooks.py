@@ -41,7 +41,11 @@ spatial tiles and serves unchanged tiles from the chain's digest tiers via
 :meth:`TieredLookup.get` / :meth:`TieredLookup.put` — as long as it
 preserves the contract that a cache can only ever change wall-clock, never
 a result.  Ops a front does not handle fall through to the digest path
-unchanged.
+unchanged.  Fronts compose by wrapping: a front may delegate to an inner
+front while interposing on the chain handle it passes down (the fleet's
+:class:`~repro.fleet.WorldTileStore` wraps the streaming tile front this
+way to attribute each tile sub-lookup to the tenant stream that issued it
+— see :func:`request_context`).
 """
 
 from __future__ import annotations
@@ -53,10 +57,13 @@ __all__ = [
     "TieredStats",
     "active_cache",
     "count_by_op",
+    "current_tenant",
+    "request_context",
     "use_map_cache",
 ]
 
 _ACTIVE = None
+_TENANT = ""
 
 
 def count_by_op(by_op: dict, op: str, hit: bool) -> None:
@@ -138,23 +145,25 @@ class TieredLookup:
     def stats(self) -> TieredStats:
         return self._stats
 
-    def get(self, key: bytes, op: str = "?"):
+    def get(self, key: bytes, op: str = "?", copy: bool = True):
         """Chain-level digest probe: first tier that hits wins, with the
         value promoted into every tier above it.  ``None`` on a full miss.
         Used by content-aware fronts to address sub-results into the same
-        L1/L2/disk tiers whole-op entries live in."""
+        L1/L2/disk tiers whole-op entries live in — fronts pass
+        ``copy=False`` (they compose from sub-entries, never mutate them;
+        see :meth:`repro.engine.MapCache.get`)."""
         for depth, tier in enumerate(self.tiers):
-            value = tier.get(key, op)
+            value = tier.get(key, op, copy=copy)
             if value is not None:
                 for upper in self.tiers[:depth]:
-                    upper.put(key, value, op)
+                    upper.put(key, value, op, copy=copy)
                 return value
         return None
 
-    def put(self, key: bytes, value, op: str = "?") -> None:
+    def put(self, key: bytes, value, op: str = "?", copy: bool = True) -> None:
         """Chain-level insert: write-through to every tier."""
         for tier in self.tiers:
-            tier.put(key, value, op)
+            tier.put(key, value, op, copy=copy)
 
     def memoize(self, op: str, arrays, params: dict, compute):
         if self.front is not None and self.front.handles(op, arrays, params):
@@ -177,6 +186,35 @@ class TieredLookup:
 def active_cache():
     """The currently installed map cache, or ``None``."""
     return _ACTIVE
+
+
+def current_tenant() -> str:
+    """The tenant of the request whose trace is currently being built.
+
+    ``""`` outside any :func:`request_context` (or for untenanted
+    requests).  Fronts that attribute cache behaviour to serving streams
+    (the fleet's :class:`~repro.fleet.WorldTileStore`) read this; nothing
+    on the compute path may branch on it — tenancy is observability, and a
+    result must never depend on who asked.
+    """
+    return _TENANT
+
+
+@contextmanager
+def request_context(tenant: str = ""):
+    """Mark the enclosed trace build as belonging to ``tenant``.
+
+    Installed by the engine around each request's functional run so cache
+    layers can attribute lookups to the stream/tenant that triggered them.
+    Nests and restores like :func:`use_map_cache`.
+    """
+    global _TENANT
+    previous = _TENANT
+    _TENANT = tenant or ""
+    try:
+        yield
+    finally:
+        _TENANT = previous
 
 
 @contextmanager

@@ -42,9 +42,12 @@ class MapTable:
         self._sorted: dict = {}
 
     def __getstate__(self):
-        # Keep disk spills (SharedMapStore pickles) free of the sort memo.
+        # Keep disk spills (SharedMapStore pickles) free of the sort memo
+        # and the MMU's cache-replay memo (see mmu/cache.py) — both are
+        # per-instance accelerations, not content.
         state = self.__dict__.copy()
         state["_sorted"] = {}
+        state.pop("_cache_sims", None)
         return state
 
     @property

@@ -204,7 +204,7 @@ def get_benchmark(notation: str) -> Benchmark:
     return BENCHMARKS[notation]
 
 
-@lru_cache(maxsize=16)
+@lru_cache(maxsize=64)
 def _resident_model(base_notation: str, model_seed: int):
     """Model instances for sourced (streaming) workloads.
 
@@ -213,6 +213,12 @@ def _resident_model(base_notation: str, model_seed: int):
     weight *values* are never even read).  Models are stateless after
     construction — every ``__call__`` takes its inputs and trace explicitly
     — so sharing an instance cannot change a result.
+
+    Sized for fleet serving (:mod:`repro.fleet`): a fleet session keeps
+    one ``(base benchmark, model seed)`` pair resident per distinct-world
+    stream, and a round-robin over more streams than slots would rebuild
+    weights every single round — so the bound comfortably exceeds any
+    realistic concurrent stream x benchmark mix.
     """
     return get_benchmark(base_notation).model_factory(model_seed)
 

@@ -91,7 +91,8 @@ class PointCloud:
             np.add.at(feats, inverse, self.features)
             counts = np.bincount(inverse, minlength=len(voxels)).astype(np.float64)
             feats /= counts[:, None]
-        return SparseTensor(voxels, feats, tensor_stride=1)
+        # unique_coords output is sorted and duplicate-free by construction.
+        return SparseTensor(voxels, feats, tensor_stride=1, _sorted=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PointCloud(n={self.n}, ndim={self.ndim}, channels={self.channels})"

@@ -29,7 +29,7 @@ See ``README.md`` ("Streaming") for the architecture sketch.
 """
 
 from .incremental import TileFrontStats, TileMapCache
-from .pipeline import FrameResult, StreamSession, StreamStats
+from .pipeline import FrameResult, StreamSession, StreamStats, streaming_map_cache
 from .sequence import FrameSequence, SequenceConfig, get_sequence
 from .tiles import TilePartition, halo_box, partition, tile_coords
 
@@ -45,5 +45,6 @@ __all__ = [
     "get_sequence",
     "halo_box",
     "partition",
+    "streaming_map_cache",
     "tile_coords",
 ]

@@ -31,12 +31,35 @@ padding and tie-breaking.  Three op families qualify:
 
 ``kernel_map/{mergesort,hash,bruteforce}``
     A finite integer stencil: map entries for an output tile depend only
-    on input points within ``max|offset|``, which one halo tile covers by
-    construction (the tile side adapts to the stencil).  Sub-results are
-    stored against a canonical per-tile concatenation (interleaving-free,
-    so the halo digest composes from per-tile digests in O(N) total
-    hashing), and the composed rows are re-ordered to the exact global
-    row order of the algorithm that was asked for.
+    on input points within ``reach = max|offset|`` of the tile's box — so
+    the sub-problem's dependence region is the tile plus a *reach-shell*,
+    not whole neighbor tiles.  Keys and candidate sets use
+    :meth:`~repro.stream.tiles.TilePartition.shell`: the digest moves
+    only when points within ``reach`` of the boundary move (interior
+    churn in a neighbor no longer dirties this tile), and the candidate
+    array is ~one tile instead of ``3^D`` tiles, which removes the
+    ``3^D``-fold redundant key-sorting the full-halo decomposition paid
+    per layer.  Composed rows are re-ordered to the exact global row
+    order of the algorithm that was asked for; input-candidate order
+    only needs to be deterministic (coordinates are unique, so the
+    algorithms' row orders are total and candidate-order-free).  The
+    tile side is floored at ``2 * reach`` so a shell always fits, which
+    decouples tile granularity from tensor stride.
+
+``voxelize``
+    The incremental voxelizer.  Quantization ``floor(p / voxel_size)`` is
+    a per-point map, so after the (cheap, recomputed-per-call) grid pass
+    the problem tiles with *no halo at all*: every grid coordinate
+    belongs to exactly one integer tile cell, per-tile voxel sets are
+    disjoint by construction, and the global sorted-unique voxel array is
+    the ordered merge of the per-tile sorted-unique arrays.  Each cached
+    tile entry — ``(sorted unique packed voxel keys, local inverse)`` —
+    carries a structural exactness certificate (keys strictly increasing,
+    inverse in range) that is re-validated on every use; a tile that
+    fails it (a corrupted disk spill, say) drops the whole call to the
+    global reference computation.  Unchanged world regions therefore
+    reuse their voxel coordinates frame over frame — the remaining
+    per-frame cost of a warm geometry-only SparseConv stream.
 
 Everything else — FPS is inherently global and sequential, DGCNN's
 feature-space graphs have no spatial tiles — falls through to the chain's
@@ -58,13 +81,15 @@ simulation results — stays bit-identical, which
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..mapping.ball_query import _ball_query_details
 from ..mapping.hooks import count_by_op
 from ..mapping.knn import _knn_compute
 from ..mapping.maps import MapTable
-from ..pointcloud.coords import coords_to_keys
+from ..pointcloud.coords import coords_to_keys, keys_to_coords
 from .tiles import TilePartition, content_digest
 
 __all__ = ["TileFrontStats", "TileMapCache"]
@@ -133,14 +158,19 @@ class TileMapCache:
         radius.  Any value is *correct* (uncertifiable rows fall back) —
         this knob trades recompute against reuse granularity.
     voxel_tile:
-        Tile side for integer (voxel) coordinates, in multiples of the
-        kernel stencil's reach: the effective side is
-        ``voxel_tile * max(1, max|offset|)`` voxels, so one halo ring
-        always covers the stencil at every tensor stride.
+        Tile side for integer (voxel) coordinates, in voxels.  The
+        effective side is ``max(voxel_tile, 2 * max|offset|)`` — floored
+        so the kernel stencil's reach-shell always fits inside one
+        neighbor tile — which keeps tiles the same *physical* size at
+        every tensor stride.
     min_points:
         Ops on clouds smaller than this (either input) pass through to
         the digest tiers — tiny layers are cheaper to rehash whole than
         to decompose.
+    incremental_voxelize:
+        Decompose ``voxelize`` calls over grid tiles (default).  ``False``
+        sends voxelization down the whole-content digest path — the
+        pre-incremental behaviour, kept as an ablation/bisection knob.
     """
 
     def __init__(
@@ -149,6 +179,7 @@ class TileMapCache:
         halo: int = 1,
         voxel_tile: int = 48,
         min_points: int = 256,
+        incremental_voxelize: bool = True,
     ) -> None:
         if tile_size <= 0:
             raise ValueError(f"tile_size must be positive, got {tile_size}")
@@ -160,7 +191,15 @@ class TileMapCache:
         self.halo = int(halo)
         self.voxel_tile = int(voxel_tile)
         self.min_points = int(min_points)
+        self.incremental_voxelize = bool(incremental_voxelize)
         self._stats = TileFrontStats()
+        # (id(points), size) -> (points, TilePartition): mapping inputs are
+        # immutable by library convention (see repro.pointcloud.cloud), and
+        # one frame presents the same coordinate array to many layers —
+        # submanifold convs at a stride share their cloud — so partitions,
+        # per-tile digests, and shells are reused across those calls.  The
+        # held reference keeps the id stable; bounded, oldest out first.
+        self._partitions: OrderedDict = OrderedDict()
 
     def stats(self) -> TileFrontStats:
         return self._stats
@@ -171,6 +210,14 @@ class TileMapCache:
 
     def handles(self, op: str, arrays, params: dict) -> bool:
         """True when this op decomposes into spatial tiles exactly."""
+        if op == "voxelize":
+            points = arrays[0]
+            return (
+                self.incremental_voxelize
+                and points.ndim == 2
+                and 1 <= points.shape[1] <= 3
+                and len(points) >= self.min_points
+            )
         if op in ("knn", "ball_query"):
             queries, references = arrays[0], arrays[1]
         elif op.startswith(_KERNEL_PREFIX):
@@ -193,6 +240,8 @@ class TileMapCache:
                 return self._memo_ball(
                     arrays[0], arrays[1], params["radius"], params["k"], chain
                 )
+            if op == "voxelize":
+                return self._memo_voxelize(arrays[0], params["voxel_size"], chain)
             return self._memo_kernel_map(op, arrays[0], arrays[1], arrays[2], chain)
         except ValueError:
             # Untileable geometry (e.g. coordinates beyond the packable
@@ -204,9 +253,38 @@ class TileMapCache:
     # kNN / ball query: float coordinates, per-row certificates
     # ------------------------------------------------------------------
 
+    def _partition(self, points, size) -> TilePartition:
+        """Partition memo: by array identity first, content digest second.
+
+        The id probe is free and catches the common case (submanifold
+        layers share their coordinate array object); the content probe
+        catches equal-content arrays rebuilt per layer (e.g. a downsampled
+        cloud reconstructed by encoder and decoder), which would otherwise
+        re-partition — and re-digest, re-slab, re-shell — identical
+        geometry several times per frame.
+        """
+        id_key = (id(points), size)
+        entry = self._partitions.get(id_key)
+        if entry is not None and entry[0] is points:
+            self._partitions.move_to_end(id_key)
+            return entry[1]
+        content_key = (content_digest(points), size)
+        entry = self._partitions.get(content_key)
+        if entry is None:
+            entry = (points, TilePartition(points, size))
+            self._partitions[content_key] = entry
+        else:
+            self._partitions.move_to_end(content_key)
+        # The id slot pins *this* array object (the content slot may pin an
+        # older equal-content one), so the identity probe stays valid.
+        self._partitions[id_key] = (points, entry[1])
+        while len(self._partitions) > 64:
+            self._partitions.popitem(last=False)
+        return entry[1]
+
     def _float_tiles(self, queries, references):
-        qpart = TilePartition(queries, self.tile_size)
-        rpart = TilePartition(references, self.tile_size)
+        qpart = self._partition(queries, self.tile_size)
+        rpart = self._partition(references, self.tile_size)
         r_cov = self.halo * self.tile_size
         return qpart, rpart, r_cov
 
@@ -247,7 +325,7 @@ class TileMapCache:
                 b"tile/knn", int(k), self.tile_size, self.halo,
                 qpart.digest(key), halo_digest, perm,
             )
-            entry = chain.get(sub_key, "knn/tile")
+            entry = chain.get(sub_key, "knn/tile", copy=False)
             if entry is None:
                 self._stats._count("knn", hit=False)
                 loc, dist = _knn_compute(queries[q_idx], references[hal], k)
@@ -256,7 +334,7 @@ class TileMapCache:
                     cert = dist[:, k - 1] <= r_cov2
                 else:
                     cert = np.zeros(len(q_idx), dtype=bool)
-                chain.put(sub_key, (loc, dist, cert), "knn/tile")
+                chain.put(sub_key, (loc, dist, cert), "knn/tile", copy=False)
             else:
                 self._stats._count("knn", hit=True)
                 loc, dist, cert = entry
@@ -291,7 +369,7 @@ class TileMapCache:
                 b"tile/ball", float(radius), int(k), self.tile_size, self.halo,
                 qpart.digest(key), halo_digest, perm,
             )
-            entry = chain.get(sub_key, "ball_query/tile")
+            entry = chain.get(sub_key, "ball_query/tile", copy=False)
             if entry is None:
                 self._stats._count("ball_query", hit=False)
                 loc, in_radius, kth_sq = _ball_query_details(
@@ -309,7 +387,7 @@ class TileMapCache:
                     cert = kth_sq <= r_cov2
                 else:
                     cert = np.zeros(len(q_idx), dtype=bool)
-                chain.put(sub_key, (loc, cert), "ball_query/tile")
+                chain.put(sub_key, (loc, cert), "ball_query/tile", copy=False)
             else:
                 self._stats._count("ball_query", hit=True)
                 loc, cert = entry
@@ -332,26 +410,32 @@ class TileMapCache:
     def _memo_kernel_map(self, op: str, in_coords, out_coords, offsets, chain):
         self._stats.decomposed_calls += 1
         algorithm = op[len(_KERNEL_PREFIX):]
-        max_off = int(np.abs(offsets).max()) if len(offsets) else 1
-        side = self.voxel_tile * max(1, max_off)  # one halo ring covers stencil
-        ipart = TilePartition(in_coords, side)
+        reach = int(np.abs(offsets).max()) if len(offsets) else 0
+        # Reach-shells only need 2 * reach <= side, so the tile side stays
+        # ~voxel_tile at every tensor stride.  (The old full-halo scheme
+        # needed side >= reach and so scaled tiles with the stride; deep
+        # layers degenerated into a handful of world-sized tiles that any
+        # churn dirtied whole.)
+        side = max(self.voxel_tile, 2 * reach)
+        ipart = self._partition(in_coords, side)
         # Submanifold convs map a cloud onto itself: share the partition.
-        opart = ipart if out_coords is in_coords else TilePartition(out_coords, side)
+        opart = ipart if out_coords is in_coords else self._partition(out_coords, side)
         rows_in, rows_out, rows_w = [], [], []
         for key in opart.keys():
             o_idx = opart.indices(key)
-            halo_digest, hal = ipart.neighborhood(key, 1)
+            halo_digest, hal = ipart.shell(key, reach)
             sub_key = content_digest(
                 b"tile/kmap", algorithm, np.asarray(offsets), int(side),
+                int(reach),  # halo scheme marker
                 out_coords[o_idx], halo_digest,
             )
-            entry = chain.get(sub_key, op + "/tile")
+            entry = chain.get(sub_key, op + "/tile", copy=False)
             if entry is None:
                 self._stats._count(op, hit=False)
                 entry = _tile_kernel_rows(
                     in_coords[hal], out_coords[o_idx], offsets
                 )
-                chain.put(sub_key, entry, op + "/tile")
+                chain.put(sub_key, entry, op + "/tile", copy=False)
             else:
                 self._stats._count(op, hit=True)
             loc_in, loc_out, loc_w = entry
@@ -368,15 +452,81 @@ class TileMapCache:
         # Map entries are a set — (q, delta) pairs match at most one p — so
         # composition only has to reproduce the requested algorithm's row
         # order: mergesort emits offset-major / input-key-minor, the hash
-        # and bruteforce probes offset-major / output-index-minor.
-        if algorithm == "mergesort":
-            order = np.lexsort((coords_to_keys(in_coords)[p_idx], w_idx))
-        else:
-            order = np.lexsort((q_idx, w_idx))
+        # and bruteforce probes offset-major / output-index-minor.  The
+        # major key is a weight index (< kernel volume), so sorting it in
+        # a narrow dtype after the minor key costs one radix pass instead
+        # of a second full 64-bit sort — this lexsort runs on every call,
+        # hit or miss, so it is the compose path's hot spot.
+        minor = coords_to_keys(in_coords)[p_idx] if algorithm == "mergesort" else q_idx
+        by_minor = np.argsort(minor, kind="stable")
+        w_dtype = np.int16 if len(offsets) <= np.iinfo(np.int16).max else np.int64
+        order = by_minor[np.argsort(w_idx[by_minor].astype(w_dtype),
+                                    kind="stable")]
         return MapTable(
             p_idx[order], q_idx[order], w_idx[order],
             kernel_volume=len(offsets),
         )
+
+    # ------------------------------------------------------------------
+    # Voxelize: integer grid cells, halo-free disjoint composition
+    # ------------------------------------------------------------------
+
+    def _memo_voxelize(self, points, voxel_size: float, chain):
+        """Incremental voxelization: per-tile sorted-unique voxel merge.
+
+        The grid pass (``floor(p / voxel_size)``) is recomputed every call
+        — it is O(N) and is what makes unchanged world points produce
+        byte-identical integer tiles.  Each occupied tile cell caches its
+        ``(sorted unique packed voxel keys, local inverse)``; because grid
+        cells partition voxel space, the sets are disjoint and the global
+        answer is a rank-merge, never a re-sort of raw points.  Exactness
+        certificate per tile: keys strictly increasing and the inverse in
+        range — a violated certificate (only reachable through a
+        corrupted cache entry) abandons the decomposition for the global
+        reference computation.
+        """
+        self._stats.decomposed_calls += 1
+        grid = np.floor(points / voxel_size).astype(np.int64)
+        # Halo-free decomposition has no reach to cover, and its per-tile
+        # work is a pure sort — coarser tiles amortize the per-tile digest
+        # and lookup overhead without hurting exactness, so voxel tiles
+        # run 4x the stencil tile side.
+        side = 4 * self.voxel_tile
+        part = TilePartition(grid, side)
+        tile_entries = []  # (original indices, unique keys, local inverse)
+        for key in part.keys():
+            idx = part.indices(key)
+            sub_key = content_digest(b"tile/voxelize", int(side), part.digest(key))
+            entry = chain.get(sub_key, "voxelize/tile", copy=False)
+            if entry is None:
+                self._stats._count("voxelize", hit=False)
+                uniq, inv = np.unique(coords_to_keys(grid[idx]),
+                                      return_inverse=True)
+                entry = (uniq, inv.astype(np.intp))
+                chain.put(sub_key, entry, "voxelize/tile", copy=False)
+            else:
+                self._stats._count("voxelize", hit=True)
+                uniq, inv = entry
+            if (
+                uniq.ndim != 1
+                or inv.shape != (len(idx),)
+                or (len(uniq) > 1 and not (np.diff(uniq) > 0).all())
+                or (len(inv) and not (0 <= inv.min() <= inv.max() < len(uniq)))
+            ):
+                self._stats.fallback_rows += len(points)
+                raise ValueError("voxelize tile certificate failed")
+            tile_entries.append((idx, uniq, inv))
+        all_keys = np.concatenate([u for _, u, _ in tile_entries])
+        order = np.argsort(all_keys, kind="stable")  # disjoint: no ties
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order))
+        inverse = np.empty(len(points), dtype=np.intp)
+        offset = 0
+        for idx, uniq, inv in tile_entries:
+            inverse[idx] = rank[offset + inv]
+            offset += len(uniq)
+        self._stats.certified_rows += len(points)
+        return keys_to_coords(all_keys[order], grid.shape[1]), inverse
 
 
 def _tile_kernel_rows(in_sub, out_sub, offsets):

@@ -30,7 +30,19 @@ from ..nn.models.registry import get_benchmark
 from .incremental import TileMapCache
 from .sequence import FrameSequence
 
-__all__ = ["FrameResult", "StreamSession", "StreamStats"]
+__all__ = ["FrameResult", "StreamSession", "StreamStats", "streaming_map_cache"]
+
+
+def streaming_map_cache() -> MapCache:
+    """The L1 sizing every streaming/fleet executor uses.
+
+    Tile-decomposed streaming produces thousands of tile sub-entries per
+    frame; an engine's default 4096-entry L1 would evict a frame's tiles
+    before the next frame (or the next vehicle) could reuse them.  One
+    factory so the session-built engine, the fleet's cluster shards, and
+    the CLI's cluster path cannot drift apart.
+    """
+    return MapCache(max_entries=1 << 16, max_bytes=512 * 1024 * 1024)
 
 
 @dataclass
@@ -104,9 +116,16 @@ class StreamSession:
         Optional pre-built executor (at most one); when neither is given
         the session builds a single engine with a tile front from the
         ``tile_*`` parameters.
-    tile_size / halo / voxel_tile / use_tiles:
+    tile_size / halo / voxel_tile / use_tiles / incremental_voxelize:
         Tile-front configuration for the session-built engine (ignored
         when an executor is injected — configure that executor instead).
+        ``incremental_voxelize`` toggles the tile-decomposed voxelizer
+        (on by default; off = whole-content digest voxelization).
+    tenant:
+        The QoS/attribution identity stamped on every frame request
+        (default ``"stream"``).  Fleet serving (:mod:`repro.fleet`) gives
+        each stream its own tenant so fair-share accounting and
+        cross-stream tile attribution can tell vehicles apart.
     geometry_only:
         ``"auto"`` (default) enables geometry-only execution exactly for
         SparseConv-family networks; booleans force it.
@@ -133,6 +152,8 @@ class StreamSession:
         voxel_tile: int = 48,
         min_points: int = 256,
         use_tiles: bool = True,
+        incremental_voxelize: bool = True,
+        tenant: str = "stream",
         geometry_only: bool | str = "auto",
         deadline_ms: float | None = None,
         period_ms: float = 100.0,
@@ -149,6 +170,7 @@ class StreamSession:
         if geometry_only == "auto":
             geometry_only = get_benchmark(benchmark).family == "sparseconv"
         self.geometry_only = bool(geometry_only)
+        self.tenant = tenant
         self.deadline_ms = deadline_ms
         self.period_ms = float(period_ms)
         self.drop_late = bool(drop_late)
@@ -160,18 +182,15 @@ class StreamSession:
                 TileMapCache(
                     tile_size=tile_size, halo=halo,
                     voxel_tile=voxel_tile, min_points=min_points,
+                    incremental_voxelize=incremental_voxelize,
                 )
                 if use_tiles
                 else None
             )
-            # Streaming produces thousands of tile sub-entries per frame;
-            # the engine's default 4096-entry L1 would evict a frame's
-            # tiles before the next frame could reuse them.
             self.executor = SimulationEngine(
                 backends=backends,
                 policy="fifo",
-                map_cache=MapCache(max_entries=1 << 16,
-                                   max_bytes=512 * 1024 * 1024),
+                map_cache=streaming_map_cache(),
                 tile_cache=self.tile_cache,
             )
         self._stats = StreamStats()
@@ -189,7 +208,7 @@ class StreamSession:
             scale=self.scale,
             seed=index,
             tag=f"f{index}",
-            tenant="stream",
+            tenant=self.tenant,
             deadline_ms=self.deadline_ms,
             geometry_only=self.geometry_only,
         )

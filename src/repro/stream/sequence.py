@@ -50,7 +50,26 @@ __all__ = ["SequenceConfig", "FrameSequence", "get_sequence"]
 
 @dataclass(frozen=True)
 class SequenceConfig:
-    """Everything that determines a sequence, bit for bit."""
+    """Everything that determines a sequence, bit for bit.
+
+    ``start_x`` offsets the ego trajectory along the strip without
+    touching the world construction: two configs that differ only in
+    ``start_x`` share the *same* static world and dynamic shapes, bit for
+    bit — they are two vehicles driving the same road.  That is the fleet
+    regime (:mod:`repro.fleet`): their frames overlap wherever their FOVs
+    do, so world tiles computed by one stream serve the other.  Keep
+    ``start_x`` within a couple of frame-steps of zero — the built strip
+    is sized for the zero-offset trajectory, and a far-offset vehicle
+    drives off the end of the world (deterministically, but emptily).
+
+    ``sensor_seed`` distinguishes *sensors* rather than trajectories: it
+    salts only the per-frame sensor-noise draws (dynamic-return jitter
+    and clutter), so two configs differing only in ``sensor_seed`` are
+    the same vehicle pose with different sensor noise — the lockstep
+    convoy / multi-sensor-rig limiting case of fleet overlap, where
+    everything except the noise returns is byte-shared.  Zero (the
+    default) leaves every existing sequence bit-identical.
+    """
 
     seed: int = 0
     n_frames: int = 8          #: nominal length (sizes the static world strip)
@@ -62,6 +81,8 @@ class SequenceConfig:
     dynamic_points: int = 160  #: points per dynamic object at scale 1.0
     jitter: float = 0.02       #: per-frame noise on dynamic returns, meters
     clutter_points: int = 48   #: fresh random points per frame at scale 1.0
+    start_x: float = 0.0       #: ego x at frame 0 (fleet trajectory offset)
+    sensor_seed: int = 0       #: salts sensor noise only (jitter + clutter)
 
 
 class FrameSequence:
@@ -97,6 +118,15 @@ class FrameSequence:
 
     def _rng(self, *salt) -> np.random.Generator:
         return np.random.default_rng([self.config.seed & 0x7FFFFFFF, *salt])
+
+    def _sensor_rng(self, *salt) -> np.random.Generator:
+        """Per-sensor noise stream: like :meth:`_rng`, additionally salted
+        by ``sensor_seed`` — but only when one is set, so the default
+        config's draws (and therefore every pre-``sensor_seed`` frame)
+        stay bit-identical."""
+        if self.config.sensor_seed:
+            salt = (*salt, self.config.sensor_seed & 0x7FFFFFFF)
+        return self._rng(*salt)
 
     def _strip(self) -> tuple[float, float]:
         cfg = self.config
@@ -165,7 +195,7 @@ class FrameSequence:
 
     def ego_position(self, index: int) -> float:
         """Ego x at frame ``index`` (motion is along +x)."""
-        return self.config.speed * index
+        return self.config.start_x + self.config.speed * index
 
     def frame(self, index: int, scale: float = 1.0) -> PointCloud:
         """Frame ``index``: static points in FOV, posed dynamics, clutter.
@@ -192,7 +222,7 @@ class FrameSequence:
             obj_x = x0 + (start_x - x0 - 2.5 * cfg.speed * index) % span
             if abs(obj_x - ego_x) > cfg.fov or abs(lane_y) > cfg.fov:
                 continue
-            frng = self._rng(4, d, index)
+            frng = self._sensor_rng(4, d, index)
             posed = shape + np.array([obj_x, lane_y, 0.0])
             posed = posed + frng.normal(scale=cfg.jitter, size=posed.shape)
             parts.append(posed)
@@ -201,7 +231,7 @@ class FrameSequence:
         # cluster near the sensor, and spatially-bounded churn is what
         # keeps the rest of the world's tiles byte-stable.
         n_clutter = max(1, int(cfg.clutter_points * scale))
-        crng = self._rng(5, index)
+        crng = self._sensor_rng(5, index)
         clutter = np.column_stack([
             crng.uniform(ego_x - 2.0, ego_x + 6.0, n_clutter),
             crng.uniform(-3.0, 3.0, n_clutter),

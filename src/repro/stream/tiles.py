@@ -51,13 +51,26 @@ def _pack(tiles: np.ndarray) -> np.ndarray:
     return coords_to_keys(tiles)
 
 
+#: dtype -> encoded tag; ``str(dtype)`` recomputes the name each call and
+#: is a measurable cost at tile granularity (thousands of digests/frame).
+_DTYPE_TAGS: dict = {}
+
+
+def _dtype_tag(dtype) -> bytes:
+    tag = _DTYPE_TAGS.get(dtype)
+    if tag is None:
+        tag = str(dtype).encode()
+        _DTYPE_TAGS[dtype] = tag
+    return tag
+
+
 def content_digest(*parts) -> bytes:
     """BLAKE2b digest over arrays (bytes + dtype + shape) and str/bytes parts."""
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
     for part in parts:
         if isinstance(part, np.ndarray):
             arr = np.ascontiguousarray(part)
-            h.update(str(arr.dtype).encode())
+            h.update(_dtype_tag(arr.dtype))
             h.update(repr(arr.shape).encode())
             h.update(arr.tobytes())
         elif isinstance(part, bytes):
@@ -80,6 +93,7 @@ class TilePartition:
         self.points = np.asarray(points)
         self.tile_size = tile_size
         tiles = tile_coords(self.points, tile_size)
+        self._tiles = tiles
         self._ndim = tiles.shape[1]
         self._keys = _pack(tiles)
         order = np.argsort(self._keys, kind="stable")
@@ -94,6 +108,10 @@ class TilePartition:
         }
         self._digests: dict[int, bytes] = {}
         self._neighborhoods: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
+        # reach -> key -> {(axis, lo/hi): (digest, indices)}; see _slabs().
+        self._slabs_by_reach: dict[int, dict[int, dict]] = {}
+        self._slab_masks_by_reach: dict[int, tuple] = {}
+        self._shells: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -161,6 +179,115 @@ class TilePartition:
         tiles (Chebyshev) of the tile behind ``key`` — itself included."""
         return np.sort(self.neighborhood(key, halo)[1])
 
+    # ------------------------------------------------------------------
+    # Reach-shells: tile + thin neighbor boundary, for stencil ops
+    # ------------------------------------------------------------------
+
+    def _slabs(self, key: int, reach: int) -> dict:
+        """Boundary slabs of one tile (integer coordinates only).
+
+        ``(axis, 0)`` is the slab of points within ``reach`` of the
+        tile's low face on ``axis``, ``(axis, 2)`` of the high face;
+        only occupied slabs are present.  Computed once per
+        ``(key, reach)`` — the boundary masks for *every* point of the
+        partition are computed in one vectorized sweep per reach (see
+        :meth:`_slab_masks`), so the per-tile step is only the slicing
+        and digesting — with points in original order, so slab digests
+        are as frame-stable as the tile's own.
+        """
+        per_key = self._slabs_by_reach.setdefault(reach, {})
+        slabs = per_key.get(key)
+        if slabs is not None:
+            return slabs
+        idx = self._groups[key]
+        lo, hi = self._slab_masks(reach)
+        slabs = {}
+        for axis in range(self._ndim):
+            for code, mask in ((0, lo[idx, axis]), (2, hi[idx, axis])):
+                if mask.any():
+                    pidx = idx[mask]
+                    slabs[(axis, code)] = (content_digest(self.points[pidx]),
+                                           pidx)
+        per_key[key] = slabs
+        return slabs
+
+    def _slab_masks(self, reach: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point low/high boundary masks for the whole partition,
+        one vectorized pass per reach (cached)."""
+        cached = self._slab_masks_by_reach.get(reach)
+        if cached is not None:
+            return cached
+        side = int(self.tile_size)
+        rel = self.points - self._tiles * side
+        cached = (rel < reach, rel >= side - reach)
+        self._slab_masks_by_reach[reach] = cached
+        return cached
+
+    def shell(self, key: int, reach: int) -> tuple[bytes, np.ndarray]:
+        """``(digest, canonical_indices)`` of the tile plus a ``reach``-
+        shell of its 3^D - 1 neighbors (integer coordinates only).
+
+        The dependence region of a ``reach``-stencil op on an output tile
+        is the tile's own box expanded by ``reach`` per axis; each
+        neighbor covers its part of that region with one boundary slab (a
+        slight superset for edge/corner neighbors — harmless for
+        membership probing, which is geometrically confined to the exact
+        region).  Unlike :meth:`neighborhood` — whose digest moves when
+        *anything* in any neighbor moves — a shell digest only moves when
+        a contributed boundary slab does, and its canonical index array
+        is ~one tile rather than 3^D tiles, so both reuse granularity and
+        candidate-set size improve by an order of magnitude.  Canonical
+        order: neighbors in :func:`halo_box` order (the tile itself in
+        full at its slot), each contributing the slab facing the tile —
+        low slab of the first inbound axis for ``+1`` deltas, high for
+        ``-1`` — every slab in original point order.  Cached per
+        ``(key, reach)``.  Requires ``0 <= 2 * reach <= tile_size``.
+        """
+        cached = self._shells.get((key, reach))
+        if cached is not None:
+            return cached
+        side = int(self.tile_size)
+        if not 0 <= 2 * reach <= side:
+            raise ValueError(
+                f"shell needs 0 <= 2 * reach <= tile_size, got reach "
+                f"{reach} at tile_size {side}"
+            )
+        h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        parts = []
+        groups = self._groups
+        slab_cache = self._slabs_by_reach.setdefault(reach, {})
+        for slot, box_key in zip(
+            _shell_plan(self._ndim), (key + _delta_keys(1, self._ndim)).tolist()
+        ):
+            if slot is None:  # the tile itself: wholly inside the region
+                idx = groups.get(key)
+                if idx is None:
+                    h.update(b"\x00")
+                else:
+                    h.update(self.digest(key))
+                    parts.append(idx)
+                continue
+            if reach == 0 or box_key not in groups:
+                # Content-equivalent to "facing slab empty": absent tiles
+                # and zero-reach shells contribute no candidates.
+                h.update(b"\x00")
+                continue
+            slabs = slab_cache.get(box_key)
+            if slabs is None:
+                slabs = self._slabs(box_key, reach)
+            slab = slabs.get(slot)
+            if slab is None:
+                h.update(b"\x00")
+            else:
+                h.update(slab[0])
+                parts.append(slab[1])
+        canonical = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+        )
+        result = (h.digest(), canonical)
+        self._shells[(key, reach)] = result
+        return result
+
 
 @functools.lru_cache(maxsize=32)
 def _delta_keys(halo: int, ndim: int) -> np.ndarray:
@@ -174,6 +301,22 @@ def _delta_keys(halo: int, ndim: int) -> np.ndarray:
         dtype=np.int64,
     )
     return halo_box(halo, ndim) @ shifts
+
+
+@functools.lru_cache(maxsize=8)
+def _shell_plan(ndim: int) -> tuple:
+    """Per :func:`halo_box` row: ``None`` for the center tile, else the
+    ``(axis, lo/hi)`` slab a neighbor at that delta faces the tile with —
+    a ``+1`` neighbor with its *low* slab, a ``-1`` with its high one, on
+    the first inbound axis."""
+    plan = []
+    for delta in halo_box(1, ndim).tolist():
+        if not any(delta):
+            plan.append(None)
+        else:
+            axis = next(a for a, d in enumerate(delta) if d)
+            plan.append((axis, 0 if delta[axis] > 0 else 2))
+    return tuple(plan)
 
 
 @functools.lru_cache(maxsize=32)

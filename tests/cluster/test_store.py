@@ -1,5 +1,6 @@
 """SharedMapStore: L2 semantics, disk spill, persistence, corruption."""
 
+import os
 import pickle
 
 import numpy as np
@@ -200,3 +201,69 @@ class TestTieredLookup:
     def test_rejects_empty_tier_list(self):
         with pytest.raises(ValueError):
             TieredLookup([None, None])
+
+
+class TestDiskBudget:
+    def _fill(self, store, n, size=512, start=0):
+        keys = []
+        for i in range(start, start + n):
+            key = bytes([i, 0]) + b"k" * 14
+            store.put(key, np.arange(size), "op")
+            keys.append(key)
+        return keys
+
+    def _disk_bytes(self, cache_dir):
+        return sum(p.stat().st_size for p in cache_dir.glob("*.map"))
+
+    def test_spill_growth_is_bounded(self, tmp_path):
+        """Regression: without a budget the spill directory grew without
+        limit; with ``max_disk_bytes`` it stays under budget after every
+        write, oldest entries evicted first."""
+        cache_dir = tmp_path / "spill"
+        probe = SharedMapStore(cache_dir=cache_dir)
+        self._fill(probe, 1)
+        entry_bytes = self._disk_bytes(cache_dir)
+        for f in cache_dir.glob("*.map"):
+            f.unlink()
+
+        budget = int(entry_bytes * 4.5)  # room for 4 entries, not 12
+        store = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=budget)
+        keys = self._fill(store, 12)
+        assert self._disk_bytes(cache_dir) <= budget
+        assert store.stats().extra["disk_evictions"] >= 8
+        # The newest entries survive on disk; the oldest are gone.
+        assert store._path(keys[-1]).is_file()
+        assert not store._path(keys[0]).is_file()
+
+    def test_evicted_key_is_a_miss_never_a_failure(self, tmp_path):
+        cache_dir = tmp_path / "spill"
+        store = SharedMapStore(max_entries=2, cache_dir=cache_dir,
+                               max_disk_bytes=4096)
+        keys = self._fill(store, 10, size=64)
+        # Old key: evicted from memory (max_entries=2) and from disk.
+        fresh = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=4096)
+        assert fresh.get(keys[0], "op") is None  # plain miss
+        assert fresh.get(keys[-1], "op") is not None
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        """A disk hit must touch the file so the LRU spares reused
+        entries across store instances."""
+        cache_dir = tmp_path / "spill"
+        store = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        keys = self._fill(store, 3)
+        old = store._path(keys[0])
+        stamp = old.stat().st_mtime - 100
+        os.utime(old, (stamp, stamp))
+        reader = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        assert reader.get(keys[0], "op") is not None
+        assert old.stat().st_mtime > stamp + 50
+
+    def test_unbounded_by_default(self, tmp_path):
+        store = SharedMapStore(cache_dir=tmp_path / "spill")
+        self._fill(store, 8)
+        assert store.stats().extra["disk_evictions"] == 0
+        assert len(list((tmp_path / "spill").glob("*.map"))) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedMapStore(max_disk_bytes=0)

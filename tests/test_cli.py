@@ -191,6 +191,52 @@ class TestCommands:
         assert payload["speedup"] > 0
         assert "tiles" in payload
 
+
+    def test_serve_fleet(self, capsys):
+        code = main(["serve-fleet", "--streams", "2", "--frames", "2",
+                     "--scale", "0.12", "--shards", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4/4 frames from 2 streams" in out
+        assert "cross-stream hits" in out
+        assert "tile reuse by op" in out
+
+    def test_serve_fleet_disjoint(self, capsys):
+        code = main(["serve-fleet", "--streams", "2", "--frames", "2",
+                     "--scale", "0.1", "--disjoint", "--shards", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert " 0 cross-stream hits" in out  # leading space: exactly zero
+
+    def test_bench_fleet_with_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_fleet.json"
+        code = main(["bench-fleet", "--streams", "2", "--frames", "2",
+                     "--scale", "0.12", "--shards", "1",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical: yes" in out
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "bench-fleet"
+        assert payload["schema"] == 1
+        assert payload["mismatches"] == 0
+        assert payload["world_tiles"]["cross_hits"] > 0
+
+    def test_bench_json_payloads_carry_schema_version(self, tmp_path,
+                                                      capsys):
+        """Satellite contract: every bench --json payload is versioned."""
+        import json
+
+        path = tmp_path / "BENCH_engine.json"
+        code = main(["bench-engine", "--benchmarks", "PointNet++(c)",
+                     "--repeats", "1", "--seeds", "1", "--scale", "0.1",
+                     "--json", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text())["schema"] == 1
+
     def test_bench_engine_json(self, tmp_path, capsys):
         import json
 

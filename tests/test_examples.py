@@ -87,3 +87,10 @@ def test_memory_system_demo(capsys):
     out = capsys.readouterr().out
     assert "miss rate" in out
     assert "fusion saving" in out or "fused groups" in out
+
+def test_fleet_serving(capsys):
+    run_example("fleet_serving.py",
+                ["--streams", "2", "--frames", "2", "--scale", "0.12"])
+    out = capsys.readouterr().out
+    assert "cross-stream hits" in out
+    assert "bit-identical -> True" in out
