@@ -13,6 +13,9 @@
 #                       at reduced scale
 #   make bench-fleet  - fleet throughput (cross-stream sharing vs per-stream
 #                       caching; the benchmark pins its own scale)
+#   make bench-compare BASE=a.json CAND=b.json
+#                     - diff two bench-* --json payloads; exits 1 on a >10%
+#                       throughput regression (scripts/bench_compare.py)
 
 PYTHON      ?= python
 PYTHONPATH  := src
@@ -20,7 +23,7 @@ SMOKE_SCALE ?= 0.1
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream bench-fleet
+.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream bench-fleet bench-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,3 +55,6 @@ bench-stream:
 
 bench-fleet:
 	$(PYTHON) -m pytest benchmarks/test_fleet_throughput.py -q
+
+bench-compare:
+	$(PYTHON) scripts/bench_compare.py $(BASE) $(CAND)

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Diff two ``bench-* --json`` payloads; fail on a throughput regression.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.10] [--metric speedup]
+
+Both files must be payloads written by ``python -m repro bench-* --json``
+(schema-version checked, commands must match).  The default metric is
+``speedup`` — the warm-over-cold throughput ratio each bench command
+reports — because it is a *ratio* measured within one process, so it
+travels across machines far better than raw wall-clock.  The exit code is
+the contract CI keys on:
+
+* ``0`` — candidate within ``threshold`` of the baseline (or better);
+* ``1`` — candidate regressed by more than ``threshold``;
+* ``2`` — unreadable/mismatched payloads (wrong schema, different
+  commands, missing metric).
+
+Intended wiring: archive ``BENCH_*.json`` per commit (CI already uploads
+them), then compare the current payload against the previous commit's
+artifact — or run the same bench twice in one job as a run-to-run
+stability gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Payload schema versions this script understands (see
+#: ``repro.cli.BENCH_JSON_SCHEMA``).
+KNOWN_SCHEMAS = (1,)
+
+
+class CompareError(Exception):
+    """Unusable input: bad file, schema drift, mismatched payloads."""
+
+
+def load_payload(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise CompareError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CompareError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CompareError(f"{path}: payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise CompareError(
+            f"{path}: unknown schema version {schema!r} "
+            f"(known: {list(KNOWN_SCHEMAS)})"
+        )
+    return payload
+
+
+def compare(baseline: dict, candidate: dict, metric: str,
+            threshold: float) -> tuple[bool, str]:
+    """``(regressed, message)`` for one metric across two payloads."""
+    if baseline.get("command") != candidate.get("command"):
+        raise CompareError(
+            f"payload commands differ: {baseline.get('command')!r} vs "
+            f"{candidate.get('command')!r} — not comparable"
+        )
+    try:
+        base = float(baseline[metric])
+        cand = float(candidate[metric])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CompareError(
+            f"metric {metric!r} missing or non-numeric in a payload"
+        ) from exc
+    if base <= 0:
+        raise CompareError(f"baseline {metric} must be positive, got {base}")
+    change = cand / base - 1.0
+    regressed = change < -threshold
+    message = (
+        f"{baseline['command']}: {metric} {base:.3f} -> {cand:.3f} "
+        f"({change:+.1%}, threshold -{threshold:.0%})"
+    )
+    return regressed, message
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="reference BENCH_*.json payload")
+    parser.add_argument("candidate", help="payload under test")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional drop (default 0.10 = 10%%)")
+    parser.add_argument("--metric", default="speedup",
+                        help="payload key to compare (default: speedup)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        print("error: --threshold must be in [0, 1)", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_payload(args.baseline)
+        candidate = load_payload(args.candidate)
+        regressed, message = compare(
+            baseline, candidate, args.metric, args.threshold
+        )
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(message)
+    if regressed:
+        print("REGRESSION: candidate fell below the threshold",
+              file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

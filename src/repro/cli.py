@@ -660,6 +660,8 @@ def _build_fleet_session(args) -> FleetSession:
         n_shards=args.shards,
         tile_size=args.tile_size,
         halo=args.halo,
+        min_points_per_tile=args.min_tile_points,
+        batched_tiles=not args.no_batch,
         use_tiles=not args.no_tiles,
         share_world_tiles=not args.no_share,
     )
@@ -749,6 +751,8 @@ def cmd_bench_fleet(args) -> int:
         spec.name: StreamSession(
             spec.sequence, spec.benchmark, backends=backends,
             scale=spec.scale, tile_size=args.tile_size, halo=args.halo,
+            min_points_per_tile=args.min_tile_points,
+            batched_tiles=not args.no_batch,
             use_tiles=not args.no_tiles, tenant=spec.name,
         )
         for spec in specs
@@ -822,7 +826,11 @@ def _build_stream_session(args) -> StreamSession:
             n_shards=args.shards,
             backends=_parse_backends(args.backends),
             tile_cache=(
-                TileMapCache(tile_size=args.tile_size, halo=args.halo)
+                TileMapCache(
+                    tile_size=args.tile_size, halo=args.halo,
+                    min_points_per_tile=args.min_tile_points,
+                    batched=not args.no_batch,
+                )
                 if not args.no_tiles else None
             ),
             map_cache=streaming_map_cache,
@@ -835,6 +843,8 @@ def _build_stream_session(args) -> StreamSession:
         scale=args.scale,
         tile_size=args.tile_size,
         halo=args.halo,
+        min_points_per_tile=args.min_tile_points,
+        batched_tiles=not args.no_batch,
         use_tiles=not args.no_tiles,
         deadline_ms=args.deadline_ms,
         period_ms=args.period_ms,
@@ -955,6 +965,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="halo width in tiles for kNN/ball query")
         p.add_argument("--no-tiles", action="store_true",
                        help="disable the tile front (digest tiers only)")
+        p.add_argument("--min-tile-points", type=int, default=0,
+                       help="small-cloud bypass: skip tile decomposition "
+                            "when a cloud has fewer than this many points "
+                            "per occupied tile (0 = off)")
+        p.add_argument("--no-batch", action="store_true",
+                       help="use the per-tile front instead of the batched "
+                            "planner (ablation)")
         p.add_argument("--backends", default="pointacc")
         p.add_argument("--shards", type=int, default=0,
                        help="> 0 serves through an engine cluster")
@@ -1000,6 +1017,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--halo", type=int, default=1)
         p.add_argument("--no-tiles", action="store_true",
                        help="disable the tile front (digest tiers only)")
+        p.add_argument("--min-tile-points", type=int, default=0,
+                       help="small-cloud bypass: skip tile decomposition "
+                            "when a cloud has fewer than this many points "
+                            "per occupied tile (0 = off)")
+        p.add_argument("--no-batch", action="store_true",
+                       help="use the per-tile front instead of the batched "
+                            "planner (ablation)")
         p.add_argument("--no-share", action="store_true",
                        help="drop the WorldTileStore attribution front")
         p.add_argument("--backends", default="pointacc")

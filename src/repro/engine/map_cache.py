@@ -201,6 +201,22 @@ class MapCache:
         self._evicted.pop(key, None)
         self._evict()
 
+    def get_many(self, keys, op: str = "?", copy: bool = True) -> list:
+        """Batched :meth:`get`: one call, N probes, per-key counting.
+
+        Routed through :meth:`get` so subclasses with side channels (the
+        shared store's disk spill) stay correct; the win over N caller
+        loops is that the tier boundary — and, through
+        :meth:`repro.mapping.hooks.TieredLookup.get_many`, the whole
+        chain traversal — is crossed once per batch.
+        """
+        return [self.get(key, op, copy=copy) for key in keys]
+
+    def put_many(self, keys, values, op: str = "?", copy: bool = True) -> None:
+        """Batched :meth:`put` (same per-key semantics)."""
+        for key, value in zip(keys, values):
+            self.put(key, value, op, copy=copy)
+
     def memoize(self, op: str, arrays, params: dict, compute):
         """Return the cached result of ``compute()`` for this content key.
 

@@ -126,10 +126,12 @@ class FleetSession:
         :class:`~repro.stream.TileMapCache` — sub-results still flow
         through the shared chain (content keys carry no stream identity),
         but hits are not attributed self/cross.
-    tile_size / halo / voxel_tile / min_points / use_tiles /
-    incremental_voxelize:
+    tile_size / halo / voxel_tile / min_points / min_points_per_tile /
+    use_tiles / incremental_voxelize / batched_tiles:
         Tile-front configuration for the session-built executor, as in
-        :class:`~repro.stream.StreamSession`.
+        :class:`~repro.stream.StreamSession` (``min_points_per_tile`` is
+        the small-cloud density bypass, ``batched_tiles=False`` the
+        per-tile reference front).
     geometry_only:
         ``"auto"`` (default) enables geometry-only execution per stream
         exactly for SparseConv-family networks; booleans force it
@@ -159,8 +161,10 @@ class FleetSession:
         halo: int = 1,
         voxel_tile: int = 48,
         min_points: int = 256,
+        min_points_per_tile: int = 0,
         use_tiles: bool = True,
         incremental_voxelize: bool = True,
+        batched_tiles: bool = True,
         share_world_tiles: bool = True,
         geometry_only: bool | str = "auto",
         cache_dir=None,
@@ -199,7 +203,13 @@ class FleetSession:
                 front = TileMapCache(
                     tile_size=tile_size, halo=halo, voxel_tile=voxel_tile,
                     min_points=min_points,
+                    min_points_per_tile=min_points_per_tile,
                     incremental_voxelize=incremental_voxelize,
+                    batched=batched_tiles,
+                    # Rounds interleave every stream through one shared
+                    # composer: it must remember at least one composition
+                    # per stream per family or the delta splice starves.
+                    compose_records=max(4, len(self.streams) + 2),
                 )
                 if share_world_tiles:
                     front = WorldTileStore(front)

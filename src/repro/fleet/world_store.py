@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from ..mapping.hooks import count_by_op, current_tenant
+from ..mapping.hooks import batch_get, batch_put, count_by_op, current_tenant
 
 __all__ = ["WorldTileStats", "WorldTileStore"]
 
@@ -48,7 +48,10 @@ _TILE_SUFFIX = "/tile"
 
 def _base_op(op: str) -> str:
     """Chain sub-lookups are labelled ``<op>/tile``; attribute to ``<op>``
-    so the books line up with the inner front's per-op counters."""
+    so the books line up with the inner front's per-op counters.  The
+    batched planner's whole-call probes arrive as ``<op>/whole`` and keep
+    that label on both sides of the accounting — the inner front counts
+    them under the same op string, so the partition invariant holds."""
     if op.endswith(_TILE_SUFFIX):
         return op[: -len(_TILE_SUFFIX)]
     return op
@@ -202,3 +205,25 @@ class _AttributingChain:
     def put(self, key: bytes, value, op: str = "?", copy: bool = True) -> None:
         self._chain.put(key, value, op, copy=copy)
         self._store._record_owner(key)
+
+    def get_many(self, keys, op: str = "?", copy: bool = True) -> list:
+        """Batched probe: delegate in one call, book every outcome.
+
+        The wrapped front's plan path issues one ``get_many`` per mapping
+        call; attribution must not reintroduce a per-key chain walk, so
+        the batch flows through and only the (cheap) classification loops.
+        """
+        values = batch_get(self._chain, keys, op, copy=copy)
+        base = _base_op(op)
+        stats = self._store._stats
+        for key, value in zip(keys, values):
+            if value is None:
+                stats._count(base, "misses")
+            else:
+                self._store._classify(key, base)
+        return values
+
+    def put_many(self, keys, values, op: str = "?", copy: bool = True) -> None:
+        batch_put(self._chain, keys, values, op, copy=copy)
+        for key in keys:
+            self._store._record_owner(key)

@@ -25,7 +25,10 @@ populates every tier.  Passing a list/tuple to :func:`use_map_cache`
 installs the chain — the tiered path the cluster's shards run on.  Tiers
 are duck-typed: anything with ``key`` / ``get`` / ``put`` / ``stats()``
 (the :class:`~repro.engine.map_cache.MapCache` surface) works, so this
-module needs no imports from the engine.
+module needs no imports from the engine.  ``get_many`` / ``put_many``
+batch the same semantics — one chain traversal for N keys, which is what
+the streaming tile planner issues per decomposed mapping call; tiers may
+implement their own batch methods or be driven per-key transparently.
 
 Content-aware front
 -------------------
@@ -56,6 +59,8 @@ __all__ = [
     "TieredLookup",
     "TieredStats",
     "active_cache",
+    "batch_get",
+    "batch_put",
     "count_by_op",
     "current_tenant",
     "request_context",
@@ -66,15 +71,17 @@ _ACTIVE = None
 _TENANT = ""
 
 
-def count_by_op(by_op: dict, op: str, hit: bool) -> None:
+def count_by_op(by_op: dict, op: str, hit: bool, n: int = 1) -> None:
     """Increment the shared per-op counter shape ``{op: {hits, misses}}``.
 
     One definition for every stats object that attributes cache behaviour
     to mapping ops (``MapCacheStats``, :class:`TieredStats`, the stream
     front's ``TileFrontStats``), so the by-op schema cannot drift apart.
+    ``n`` batches the increment — the tile planner counts one probe batch
+    per update.
     """
     slot = by_op.setdefault(op, {"hits": 0, "misses": 0})
-    slot["hits" if hit else "misses"] += 1
+    slot["hits" if hit else "misses"] += n
 
 
 class TieredStats:
@@ -165,6 +172,43 @@ class TieredLookup:
         for tier in self.tiers:
             tier.put(key, value, op, copy=copy)
 
+    def get_many(self, keys, op: str = "?", copy: bool = True) -> list:
+        """Batched :meth:`get`: one chain traversal for N keys.
+
+        Semantically identical to N chained ``get`` calls — same per-tier
+        probing order, same upward promotion of hits, same per-op stats
+        (each tier counts every probe it sees) — but each tier is visited
+        once per *batch* instead of once per key, which is what makes
+        tile-decomposed lookups cheap (the tile planner,
+        :mod:`repro.stream.plan`, issues one ``get_many`` per mapping
+        call instead of one chain walk per tile).  Tiers without a
+        ``get_many`` of their own are driven per-key transparently.
+        """
+        values: list = [None] * len(keys)
+        missing = list(range(len(keys)))
+        for depth, tier in enumerate(self.tiers):
+            if not missing:
+                break
+            got = batch_get(tier, [keys[i] for i in missing], op, copy=copy)
+            still, hit_keys, hit_values = [], [], []
+            for i, value in zip(missing, got):
+                if value is None:
+                    still.append(i)
+                else:
+                    values[i] = value
+                    hit_keys.append(keys[i])
+                    hit_values.append(value)
+            if depth and hit_keys:
+                for upper in self.tiers[:depth]:
+                    batch_put(upper, hit_keys, hit_values, op, copy=copy)
+            missing = still
+        return values
+
+    def put_many(self, keys, values, op: str = "?", copy: bool = True) -> None:
+        """Batched :meth:`put`: write each pair through every tier."""
+        for tier in self.tiers:
+            batch_put(tier, keys, values, op, copy=copy)
+
     def memoize(self, op: str, arrays, params: dict, compute):
         if self.front is not None and self.front.handles(op, arrays, params):
             return self.front.memoize(op, arrays, params, compute, self)
@@ -181,6 +225,31 @@ class TieredLookup:
         for tier in self.tiers:
             tier.put(key, value, op)
         return value
+
+
+def batch_get(source, keys, op: str = "?", copy: bool = True) -> list:
+    """Probe N keys against anything with the ``get`` surface.
+
+    The one batch-or-per-key adapter: uses the target's ``get_many`` when
+    it has one, else drives ``get`` per key.  Chains, tiers, the tile
+    planner and the fleet's attributing wrapper all route through this
+    pair so batch semantics cannot drift between them.
+    """
+    getter = getattr(source, "get_many", None)
+    if getter is not None:
+        return getter(keys, op, copy=copy)
+    return [source.get(key, op, copy=copy) for key in keys]
+
+
+def batch_put(target, keys, values, op: str = "?", copy: bool = True) -> None:
+    """Insert N pairs into anything with the ``put`` surface (see
+    :func:`batch_get`)."""
+    putter = getattr(target, "put_many", None)
+    if putter is not None:
+        putter(keys, values, op, copy=copy)
+    else:
+        for key, value in zip(keys, values):
+            target.put(key, value, op, copy=copy)
 
 
 def active_cache():

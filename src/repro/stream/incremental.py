@@ -65,6 +65,16 @@ Everything else — FPS is inherently global and sequential, DGCNN's
 feature-space graphs have no spatial tiles — falls through to the chain's
 whole-content digest path untouched.
 
+Two execution modes share these contracts: the default *batched* mode
+routes every decomposed call through the plan/probe/execute/splice
+pipeline in :mod:`repro.stream.plan` (vectorized digesting, one
+``get_many`` chain round trip, delta-composed kernel maps), while
+``batched=False`` keeps the original per-tile loops below as the
+reference implementation.  Both modes produce byte-identical sub-keys,
+so they share one cache universe, and bit-identical results, which
+``tests/properties/test_prop_plan.py`` enforces against each other and
+against the cold oracle.
+
 A note on floating point: tile-local distance matrices are computed by the
 same :func:`~repro.pointcloud.coords.pairwise_squared_distance` formula on
 the same operands as the monolithic call, but BLAS may tile a sub-matrix
@@ -90,6 +100,7 @@ from ..mapping.hooks import count_by_op
 from ..mapping.knn import _knn_compute
 from ..mapping.maps import MapTable
 from ..pointcloud.coords import coords_to_keys, keys_to_coords
+from . import plan as _plan
 from .tiles import TilePartition, content_digest
 
 __all__ = ["TileFrontStats", "TileMapCache"]
@@ -101,14 +112,21 @@ class TileFrontStats:
     """Observable tile-front behaviour, per op and aggregate.
 
     ``tile_hits``/``tile_misses`` count sub-problem lookups against the
-    chain; ``fallback_rows`` counts query rows that needed a global
-    recompute (certificate failures), ``certified_rows`` the rows served
-    from tile-local answers.  ``decomposed_calls`` is how many whole-op
-    calls the front handled at all.
+    chain — per-tile probes plus, on the plan path, the one whole-call
+    probe per decomposed op (booked under ``<op>/whole`` in ``by_op``);
+    ``fallback_rows`` counts query rows that needed a global recompute
+    (certificate failures), ``certified_rows`` the rows served from
+    tile-local answers.  ``decomposed_calls`` is how many whole-op calls
+    the front handled at all; ``bypassed_calls`` how many it declined
+    because the cloud fell under the ``min_points_per_tile`` density
+    floor.  When the batched front is active the snapshot also carries
+    the kernel-map composer's splice/full-sort/fallback counters under
+    ``compose``.
     """
 
     def __init__(self) -> None:
         self.decomposed_calls = 0
+        self.bypassed_calls = 0
         self.tile_hits = 0
         self.tile_misses = 0
         self.certified_rows = 0
@@ -130,9 +148,17 @@ class TileFrontStats:
         else:
             self.tile_misses += 1
 
+    def _count_many(self, op: str, hits: int, misses: int) -> None:
+        """Bulk counting for the plan path: one probe batch, one update."""
+        count_by_op(self.by_op, op, hit=True, n=hits)
+        count_by_op(self.by_op, op, hit=False, n=misses)
+        self.tile_hits += hits
+        self.tile_misses += misses
+
     def snapshot(self) -> dict:
-        return {
+        out = {
             "decomposed_calls": self.decomposed_calls,
+            "bypassed_calls": self.bypassed_calls,
             "tile_hits": self.tile_hits,
             "tile_misses": self.tile_misses,
             "tile_lookups": self.tile_lookups,
@@ -141,6 +167,10 @@ class TileFrontStats:
             "fallback_rows": self.fallback_rows,
             "by_op": {op: dict(c) for op, c in self.by_op.items()},
         }
+        composer = getattr(self, "_composer", None)
+        if composer is not None:
+            out["compose"] = composer.snapshot()
+        return out
 
 
 class TileMapCache:
@@ -167,10 +197,28 @@ class TileMapCache:
         Ops on clouds smaller than this (either input) pass through to
         the digest tiers — tiny layers are cheaper to rehash whole than
         to decompose.
+    min_points_per_tile:
+        Density floor for the small-cloud bypass: a call whose driving
+        cloud has fewer than ``min_points_per_tile * n_occupied_tiles``
+        points skips tile decomposition entirely and takes the whole-op
+        digest path — sparse tiny frames are overhead-bound however the
+        tiles are walked.  ``0`` (default) disables the bypass; the
+        serving CLIs expose it as ``--min-tile-points``.
     incremental_voxelize:
         Decompose ``voxelize`` calls over grid tiles (default).  ``False``
         sends voxelization down the whole-content digest path — the
         pre-incremental behaviour, kept as an ablation/bisection knob.
+    batched:
+        Use the plan/probe/execute/splice pipeline (:mod:`repro.stream.
+        plan`) — the default.  ``False`` keeps the PR-4 per-tile loops:
+        same sub-keys, same results, one chain walk per tile — retained
+        as the reference implementation the property suite compares
+        against and the baseline the throughput benchmark beats.
+    compose_records:
+        Remembered compositions per kernel-map family in the delta
+        composer.  A shared front must hold at least one record per
+        interleaved stream or splicing degrades to full sorts — the
+        fleet session sizes this to its stream count automatically.
     """
 
     def __init__(
@@ -179,7 +227,10 @@ class TileMapCache:
         halo: int = 1,
         voxel_tile: int = 48,
         min_points: int = 256,
+        min_points_per_tile: int = 0,
         incremental_voxelize: bool = True,
+        batched: bool = True,
+        compose_records: int = 4,
     ) -> None:
         if tile_size <= 0:
             raise ValueError(f"tile_size must be positive, got {tile_size}")
@@ -187,12 +238,27 @@ class TileMapCache:
             raise ValueError(f"halo must be >= 0, got {halo}")
         if voxel_tile < 1:
             raise ValueError(f"voxel_tile must be >= 1, got {voxel_tile}")
+        if min_points_per_tile < 0:
+            raise ValueError(
+                f"min_points_per_tile must be >= 0, got {min_points_per_tile}"
+            )
+        if compose_records < 1:
+            raise ValueError(
+                f"compose_records must be >= 1, got {compose_records}"
+            )
         self.tile_size = float(tile_size)
         self.halo = int(halo)
         self.voxel_tile = int(voxel_tile)
         self.min_points = int(min_points)
+        self.min_points_per_tile = int(min_points_per_tile)
         self.incremental_voxelize = bool(incremental_voxelize)
+        self.batched = bool(batched)
+        self._composer = _plan.KernelComposer(
+            max_records_per_family=compose_records
+        )
         self._stats = TileFrontStats()
+        if self.batched:
+            self._stats._composer = self._composer
         # (id(points), size) -> (points, TilePartition): mapping inputs are
         # immutable by library convention (see repro.pointcloud.cloud), and
         # one frame presents the same coordinate array to many layers —
@@ -212,28 +278,85 @@ class TileMapCache:
         """True when this op decomposes into spatial tiles exactly."""
         if op == "voxelize":
             points = arrays[0]
-            return (
+            ok = (
                 self.incremental_voxelize
                 and points.ndim == 2
                 and 1 <= points.shape[1] <= 3
                 and len(points) >= self.min_points
             )
-        if op in ("knn", "ball_query"):
-            queries, references = arrays[0], arrays[1]
-        elif op.startswith(_KERNEL_PREFIX):
-            queries, references = arrays[1], arrays[0]  # out drives tiling
+        elif op in ("knn", "ball_query") or op.startswith(_KERNEL_PREFIX):
+            if op.startswith(_KERNEL_PREFIX):
+                queries, references = arrays[1], arrays[0]  # out drives tiling
+            else:
+                queries, references = arrays[0], arrays[1]
+            ok = (
+                queries.ndim == 2
+                and references.ndim == 2
+                and 1 <= queries.shape[1] <= 3
+                and len(queries) >= self.min_points
+                and len(references) >= self.min_points
+            )
         else:
             return False
-        return (
-            queries.ndim == 2
-            and references.ndim == 2
-            and 1 <= queries.shape[1] <= 3
-            and len(queries) >= self.min_points
-            and len(references) >= self.min_points
-        )
+        if ok and self.min_points_per_tile > 0 and self._too_sparse(
+            op, arrays, params
+        ):
+            self._stats.bypassed_calls += 1
+            return False
+        return ok
+
+    def _too_sparse(self, op: str, arrays, params: dict) -> bool:
+        """The small-cloud bypass: fewer points than the density floor.
+
+        The decision partitions the op's driving cloud at the op's own
+        tile side (memoized, so a call that does decompose pays nothing
+        twice) and compares the cloud size against
+        ``min_points_per_tile * n_occupied_tiles``.  Untileable geometry
+        reports ``False`` here so :meth:`memoize`'s plain-compute
+        fallback keeps handling it.
+        """
+        try:
+            if op == "voxelize":
+                grid = np.floor(
+                    np.asarray(arrays[0]) / params["voxel_size"]
+                ).astype(np.int64)
+                # Through the content-keyed memo: a call that passes the
+                # density check re-uses this partition in the planner.
+                part = self._partition(grid, 4 * self.voxel_tile)
+                n = len(grid)
+            elif op.startswith(_KERNEL_PREFIX):
+                offsets = arrays[2]
+                reach = int(np.abs(offsets).max()) if len(offsets) else 0
+                side = max(self.voxel_tile, 2 * reach)
+                part = self._partition(arrays[1], side)
+                n = len(arrays[1])
+            else:
+                part = self._partition(arrays[0], self.tile_size)
+                n = len(arrays[0])
+        except ValueError:
+            return False
+        return n < self.min_points_per_tile * len(part)
 
     def memoize(self, op: str, arrays, params: dict, compute, chain):
         try:
+            if self.batched:
+                self._stats.decomposed_calls += 1
+                if op == "knn":
+                    return _plan.run_knn(
+                        self, chain, arrays[0], arrays[1], params["k"]
+                    )
+                if op == "ball_query":
+                    return _plan.run_ball_query(
+                        self, chain, arrays[0], arrays[1],
+                        params["radius"], params["k"],
+                    )
+                if op == "voxelize":
+                    return _plan.run_voxelize(
+                        self, chain, arrays[0], params["voxel_size"]
+                    )
+                return _plan.run_kernel_map(
+                    self, chain, op, arrays[0], arrays[1], arrays[2]
+                )
             if op == "knn":
                 return self._memo_knn(arrays[0], arrays[1], params["k"], chain)
             if op == "ball_query":

@@ -28,7 +28,14 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["TilePartition", "halo_box", "partition", "tile_coords", "content_digest"]
+__all__ = [
+    "TilePartition",
+    "content_digest",
+    "halo_box",
+    "hash_part",
+    "partition",
+    "tile_coords",
+]
 
 _DIGEST_SIZE = 16
 
@@ -64,19 +71,31 @@ def _dtype_tag(dtype) -> bytes:
     return tag
 
 
+def hash_part(h, part) -> None:
+    """Feed one part into a hash state, canonically encoded.
+
+    The one definition of the per-part encoding (array = dtype tag +
+    ``repr(shape)`` + raw bytes; bytes raw; everything else ``repr``).
+    :func:`content_digest` and the batched planner's prefix-copied
+    sub-keys both build on it, which is what keeps the per-tile and
+    batched fronts addressing one cache universe.
+    """
+    if isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        h.update(_dtype_tag(arr.dtype))
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(part, bytes):
+        h.update(part)
+    else:
+        h.update(repr(part).encode())
+
+
 def content_digest(*parts) -> bytes:
     """BLAKE2b digest over arrays (bytes + dtype + shape) and str/bytes parts."""
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
     for part in parts:
-        if isinstance(part, np.ndarray):
-            arr = np.ascontiguousarray(part)
-            h.update(_dtype_tag(arr.dtype))
-            h.update(repr(arr.shape).encode())
-            h.update(arr.tobytes())
-        elif isinstance(part, bytes):
-            h.update(part)
-        else:
-            h.update(repr(part).encode())
+        hash_part(h, part)
     return h.digest()
 
 
@@ -101,15 +120,27 @@ class TilePartition:
         unique_keys, starts = np.unique(sorted_keys, return_index=True)
         self._groups: dict[int, np.ndarray] = {}
         bounds = np.append(starts, len(sorted_keys))
+        # The batched plan path consumes these directly: the sort
+        # permutation, the per-tile segment bounds within it, and the
+        # occupied keys as an array (ascending — the iteration order of
+        # _groups below, which is built in that order).
+        self._order = order
+        self._bounds = bounds
+        self._ukeys = unique_keys
         for i, key in enumerate(unique_keys.tolist()):
             self._groups[key] = order[bounds[i]:bounds[i + 1]]
         self._tile_by_key = {
             int(k): tiles[idx[0]] for k, idx in self._groups.items()
         }
         self._digests: dict[int, bytes] = {}
+        self._all_digests: list[bytes] | None = None
+        self._packed: np.ndarray | None = None
+        self._point_keys: np.ndarray | None = None
         self._neighborhoods: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
+        self._sorted_neighborhoods: dict[tuple[int, int], tuple] = {}
         # reach -> key -> {(axis, lo/hi): (digest, indices)}; see _slabs().
         self._slabs_by_reach: dict[int, dict[int, dict]] = {}
+        self._slabs_filled: set = set()  # reach / ("shells", reach) markers
         self._slab_masks_by_reach: dict[int, tuple] = {}
         self._shells: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
 
@@ -123,6 +154,16 @@ class TilePartition:
     def keys(self):
         """Occupied tile keys (ascending)."""
         return self._groups.keys()
+
+    @property
+    def unique_keys(self) -> np.ndarray:
+        """Occupied tile keys as an int64 array (ascending).  Read-only by
+        convention — the batched planner searches it with searchsorted."""
+        return self._ukeys
+
+    def counts(self) -> np.ndarray:
+        """Points per occupied tile, aligned with :attr:`unique_keys`."""
+        return np.diff(self._bounds)
 
     def tile_of_key(self, key: int) -> np.ndarray:
         """The (D,) integer tile coordinate behind a packed key."""
@@ -143,6 +184,189 @@ class TilePartition:
             d = content_digest(self.points[self.indices(key)])
             self._digests[key] = d
         return d
+
+    # ------------------------------------------------------------------
+    # Batched passes: packed buffers, bulk digests, bulk slabs
+    # ------------------------------------------------------------------
+
+    def packed(self) -> np.ndarray:
+        """The points gathered into tile-sorted order, C-contiguous.
+
+        One gather shared by every batched pass: tile ``i``'s points are
+        rows ``_bounds[i]:_bounds[i+1]``, each tile's rows in original
+        order (the stable-argsort grouping), so a byte slice of this
+        buffer *is* ``points[indices(key)].tobytes()``.  Cached.
+        """
+        if self._packed is None:
+            self._packed = np.ascontiguousarray(self.points[self._order])
+        return self._packed
+
+    def digest_all(self) -> list[bytes]:
+        """Per-tile content digests for every occupied tile at once.
+
+        Bit-identical to calling :meth:`digest` per key, but computed
+        over one packed buffer: no per-tile array temporaries, only the
+        unavoidable per-tile hash finalization.  Returns the digests in
+        ascending-key order (aligned with :attr:`unique_keys`) and fills
+        the per-key cache as a side effect.
+        """
+        if self._all_digests is not None:
+            return self._all_digests
+        packed = self.packed()
+        ncols = packed.shape[1]
+        row_bytes = packed.dtype.itemsize * ncols
+        mv = memoryview(packed).cast("B")
+        tag = _dtype_tag(packed.dtype)
+        bounds = self._bounds.tolist()
+        digests = []
+        for i, key in enumerate(self._ukeys.tolist()):
+            lo, hi = bounds[i], bounds[i + 1]
+            h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+            h.update(tag)
+            h.update(repr((hi - lo, ncols)).encode())
+            h.update(mv[lo * row_bytes:hi * row_bytes])
+            d = h.digest()
+            digests.append(d)
+            self._digests[key] = d
+        self._all_digests = digests
+        return digests
+
+    def point_keys(self) -> np.ndarray:
+        """Packed ranking keys of every point (integer clouds), cached.
+
+        The kernel-map planner probes membership against these; computing
+        them once per partition replaces the per-tile ``coords_to_keys``
+        calls of the per-tile path.
+        """
+        if self._point_keys is None:
+            from ..pointcloud.coords import coords_to_keys
+
+            self._point_keys = coords_to_keys(self.points)
+        return self._point_keys
+
+    def fill_slabs(self, reach: int) -> None:
+        """Compute every tile's boundary slabs for ``reach`` in bulk.
+
+        Fills the same per-``(key, reach)`` cache :meth:`_slabs` feeds —
+        identical ``(digest, indices)`` pairs — but in six vectorized
+        sweeps (one per face) over the packed buffer instead of six fancy
+        index operations per tile.  Idempotent per reach.
+        """
+        if reach in self._slabs_filled:
+            return
+        per_key = self._slabs_by_reach.setdefault(reach, {})
+        keys = self._ukeys.tolist()
+        if reach > 0:
+            lo, hi = self._slab_masks(reach)
+            order = self._order
+            packed = self.packed()
+            ncols = packed.shape[1]
+            row_bytes = packed.dtype.itemsize * ncols
+            tag = _dtype_tag(packed.dtype)
+            for axis in range(self._ndim):
+                for code, mask in ((0, lo), (2, hi)):
+                    sel = np.flatnonzero(mask[order, axis])
+                    if not len(sel):
+                        continue
+                    pidx = order[sel]
+                    # sel ascends, so tile slots form contiguous runs.
+                    slots = np.searchsorted(self._bounds, sel, side="right") - 1
+                    runs = np.flatnonzero(np.diff(slots)) + 1
+                    starts = np.concatenate([[0], runs])
+                    ends = np.concatenate([runs, [len(sel)]])
+                    slab_pts = np.ascontiguousarray(self.points[pidx])
+                    mv = memoryview(slab_pts).cast("B")
+                    for s, e in zip(starts.tolist(), ends.tolist()):
+                        h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+                        h.update(tag)
+                        h.update(repr((e - s, ncols)).encode())
+                        h.update(mv[s * row_bytes:e * row_bytes])
+                        slot = per_key.setdefault(keys[slots[s]], {})
+                        slot[(axis, code)] = (h.digest(), pidx[s:e])
+        for key in keys:
+            per_key.setdefault(key, {})
+        self._slabs_filled.add(reach)
+
+    def fill_shells(self, reach: int) -> None:
+        """Compute every tile's reach-shell in one planned sweep.
+
+        Fills the same ``(key, reach)`` cache :meth:`shell` serves —
+        identical digests and canonical index arrays — but resolves the
+        3^D neighbor slots for *all* tiles with one searchsorted over the
+        key matrix and replaces the per-slot dict probes with list
+        indexing, which is where the per-tile shell assembly spends its
+        time at small tiles.  Idempotent per reach.
+        """
+        if ("shells", reach) in self._slabs_filled:
+            return
+        side = int(self.tile_size)
+        if not 0 <= 2 * reach <= side:
+            raise ValueError(
+                f"shell needs 0 <= 2 * reach <= tile_size, got reach "
+                f"{reach} at tile_size {side}"
+            )
+        self.digest_all()
+        self.fill_slabs(reach)
+        ukeys = self._ukeys
+        n_tiles = len(ukeys)
+        plan = _shell_plan(self._ndim)
+        box = ukeys[:, None] + _delta_keys(1, self._ndim)[None, :]
+        pos = np.searchsorted(ukeys, box)
+        pos_c = np.minimum(pos, n_tiles - 1)
+        occupied = (pos < n_tiles) & (ukeys[pos_c] == box)
+        keys_list = ukeys.tolist()
+        digests = self._all_digests
+        groups = [self._groups[k] for k in keys_list]
+        slabs = self._slabs_by_reach[reach]
+        slab_by_slot = [slabs[k] for k in keys_list]
+        shells = self._shells
+        empty = np.empty(0, dtype=np.intp)
+        for t in range(n_tiles):
+            cache_key = (keys_list[t], reach)
+            if cache_key in shells:
+                continue
+            h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+            parts = []
+            occ_row = occupied[t]
+            pos_row = pos_c[t]
+            for j, slot in enumerate(plan):
+                if slot is None:  # the tile itself: wholly inside
+                    h.update(digests[t])
+                    parts.append(groups[t])
+                elif reach == 0 or not occ_row[j]:
+                    h.update(b"\x00")
+                else:
+                    slab = slab_by_slot[pos_row[j]].get(slot)
+                    if slab is None:
+                        h.update(b"\x00")
+                    else:
+                        h.update(slab[0])
+                        parts.append(slab[1])
+            canonical = np.concatenate(parts) if parts else empty
+            shells[cache_key] = (h.digest(), canonical)
+        self._slabs_filled.add(("shells", reach))
+
+    def sorted_neighborhood(self, key: int, halo: int):
+        """``(halo_digest, interleave_perm, sorted_halo)`` for one tile.
+
+        ``sorted_halo`` is the canonical halo concatenation re-ordered to
+        ascending global index (the tie-break order sub-results are
+        computed under) and ``interleave_perm`` the permutation that got
+        it there (``None`` for an empty halo).  Cached per ``(key, halo)``
+        — the per-tile path recomputes the argsort on every call, which
+        is part of the overhead the plan path exists to remove.
+        """
+        cached = self._sorted_neighborhoods.get((key, halo))
+        if cached is not None:
+            return cached
+        digest, canonical = self.neighborhood(key, halo)
+        if len(canonical) == 0:
+            result = (digest, None, canonical)
+        else:
+            perm = np.argsort(canonical, kind="stable").astype(np.int32)
+            result = (digest, perm, canonical[perm])
+        self._sorted_neighborhoods[(key, halo)] = result
+        return result
 
     def neighborhood(self, key: int, halo: int) -> tuple[bytes, np.ndarray]:
         """``(digest, canonical_indices)`` of the halo box around a tile.
@@ -287,6 +511,23 @@ class TilePartition:
         result = (h.digest(), canonical)
         self._shells[(key, reach)] = result
         return result
+
+
+def offset_key_deltas(offsets: np.ndarray, ndim: int) -> np.ndarray:
+    """Packed-key deltas of arbitrary integer offsets.
+
+    ``key(coord + offset) == key(coord) + delta`` whenever the shifted
+    coordinate stays inside the per-axis packable range — the same
+    additivity :func:`_delta_keys` exploits for halo boxes, exposed for
+    the batched kernel-map prober (callers must range-guard).
+    """
+    from ..pointcloud.coords import _KEY_BITS_PER_AXIS
+
+    shifts = np.array(
+        [1 << (_KEY_BITS_PER_AXIS * (ndim - 1 - d)) for d in range(ndim)],
+        dtype=np.int64,
+    )
+    return np.asarray(offsets, dtype=np.int64) @ shifts
 
 
 @functools.lru_cache(maxsize=32)

@@ -1,0 +1,92 @@
+"""The per-layer content-keyed cost-record memo of PointAccModel.
+
+Near-identical frames re-served by an engine should share cost-model
+records per layer, not just kernel maps — but a memo may only ever change
+wall-clock, never a report.  These tests pin the content-keying (map
+tables by digest), the copy-out isolation (static leakage is folded into
+a report's last record after the fact), and the bit-identity of memoized
+reports against fresh models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import POINTACC_FULL, PointAccModel
+from repro.core.accelerator import _map_digest, _params_key, _spec_key
+from repro.mapping.maps import MapTable
+from repro.nn.models.registry import build_trace
+from repro.nn.trace import LayerKind, LayerSpec
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("MinkNet(o)", scale=0.1, seed=0)
+
+
+class TestMemoBitIdentity:
+    def test_replay_equals_fresh_model(self, trace):
+        warm = PointAccModel(POINTACC_FULL)
+        first = warm.run(trace)
+        second = warm.run(trace)
+        assert warm.record_memo_stats["hits"] > 0
+        cold = PointAccModel(POINTACC_FULL).run(trace)
+        assert first == cold
+        assert second == cold
+
+    def test_memo_disabled_still_equal(self, trace):
+        off = PointAccModel(POINTACC_FULL, record_memo_entries=0)
+        assert off.run(trace) == PointAccModel(POINTACC_FULL).run(trace)
+        assert off.record_memo_stats["hits"] == 0
+
+    def test_flow_is_part_of_the_key(self, trace):
+        model = PointAccModel(POINTACC_FULL)
+        fetch = model.run(trace, flow="fetch_on_demand")
+        gather = model.run(trace, flow="gather_scatter")
+        assert fetch != gather  # a shared key here would alias the flows
+        assert gather == PointAccModel(POINTACC_FULL).run(
+            trace, flow="gather_scatter"
+        )
+
+    def test_mutating_a_report_does_not_poison_the_memo(self, trace):
+        model = PointAccModel(POINTACC_FULL)
+        reference = PointAccModel(POINTACC_FULL).run(trace)
+        first = model.run(trace)
+        first.records[0].seconds = -1.0
+        first.records[0].energy.compute_pj = -1.0
+        assert model.run(trace) == reference
+
+
+class TestContentKeys:
+    def test_map_digest_is_content_not_identity(self):
+        table = MapTable(np.arange(5), np.arange(5), np.zeros(5), 27)
+        clone = MapTable(np.arange(5), np.arange(5), np.zeros(5), 27)
+        other = MapTable(np.arange(5), np.arange(5), np.ones(5), 27)
+        assert _map_digest(table) == _map_digest(clone)
+        assert _map_digest(table) != _map_digest(other)
+        # memoized on the instance, excluded from pickles
+        assert table._content_digest is not None
+        assert "_content_digest" not in table.__getstate__()
+
+    def test_unknown_param_type_is_uncacheable(self):
+        assert _params_key({"weird": object()}) is None
+        spec = LayerSpec(name="x", kind=LayerKind.ELEMWISE, n_in=4, n_out=4,
+                         rows=4, params={"weird": object()})
+        assert _spec_key(spec) is None
+
+    def test_spec_key_separates_distinct_layers(self):
+        a = LayerSpec(name="conv1", kind=LayerKind.DENSE_MM, n_in=8, n_out=8,
+                      c_in=3, c_out=16, rows=8)
+        b = LayerSpec(name="conv1", kind=LayerKind.DENSE_MM, n_in=8, n_out=8,
+                      c_in=3, c_out=32, rows=8)
+        assert _spec_key(a) != _spec_key(b)
+        assert _spec_key(a) == _spec_key(
+            LayerSpec(name="conv1", kind=LayerKind.DENSE_MM, n_in=8, n_out=8,
+                      c_in=3, c_out=16, rows=8)
+        )
+
+    def test_memo_is_bounded(self, trace):
+        model = PointAccModel(POINTACC_FULL, record_memo_entries=4)
+        model.run(trace)
+        assert len(model._record_memo) <= 4
+        # Still exact under heavy eviction.
+        assert model.run(trace) == PointAccModel(POINTACC_FULL).run(trace)

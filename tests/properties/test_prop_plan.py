@@ -1,0 +1,228 @@
+"""Plan/execute + delta-composition equivalence properties.
+
+The acceptance contract of the batched tile front: for every op family it
+decomposes ({kNN, ball query, kernel map, voxelize}), across executors
+({engine, cluster, fleet}) and tile sizes, the plan path — vectorized
+digests, ``get_many`` batching, whole-call reuse, delta-composed kernel
+maps — produces results bit-identical to the cold reference computation
+AND to the per-tile front it replaces (``batched=False``), cold and warm,
+frame over frame.  Splices, certificates, whole-call hits and the
+density bypass are wall-clock phenomena only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EngineCluster
+from repro.engine import MapCache, SimRequest, run_cold
+from repro.fleet import FleetSession, StreamSpec
+from repro.mapping.ball_query import ball_query_indices
+from repro.mapping.hooks import TieredLookup, use_map_cache
+from repro.mapping.kernel_map import kernel_map
+from repro.mapping.knn import knn_indices
+from repro.pointcloud.coords import quantize_unique, voxelize
+from repro.stream import (
+    FrameSequence,
+    SequenceConfig,
+    StreamSession,
+    TileMapCache,
+)
+
+N_FRAMES = 3
+CFG = SequenceConfig(seed=23, n_frames=N_FRAMES, base_points=2200,
+                     fov=16.0, speed=2.0, n_dynamic=2)
+
+
+# ----------------------------------------------------------------------
+# Op level: batched == per-tile == reference, over perturbed frames
+# ----------------------------------------------------------------------
+
+
+def _drifting_clouds(rng, n=900, span=32.0, frames=3):
+    """Frames where one region churns and the rest stays byte-stable."""
+    base = rng.uniform(0, span, (n, 3))
+    out = [base]
+    for i in range(1, frames):
+        nxt = out[-1].copy()
+        corner = np.all(nxt < 8.0 + 2 * i, axis=1)
+        nxt[corner] += 0.25
+        out.append(nxt)
+    return out
+
+
+def _chains(**kwargs):
+    kwargs.setdefault("min_points", 1)
+    out = []
+    for batched in (True, False):
+        front = TileMapCache(batched=batched, **kwargs)
+        out.append((front,
+                    TieredLookup([MapCache(max_entries=1 << 15)], front=front)))
+    return out
+
+
+@pytest.mark.parametrize("tile_size,halo", [(3.0, 1), (6.0, 2), (10.0, 0)])
+def test_knn_and_ball_modes_agree_across_frames(rng, tile_size, halo):
+    frames = _drifting_clouds(rng)
+    (batched, chain_b), (legacy, chain_l) = _chains(
+        tile_size=tile_size, halo=halo
+    )
+    for cloud in frames:
+        expect_idx, expect_dist = knn_indices(cloud, cloud, 6)
+        expect_ball = ball_query_indices(cloud, cloud, 2.0, 5)
+        with use_map_cache(chain_b):
+            got_idx, got_dist = knn_indices(cloud, cloud, 6)
+            got_ball = ball_query_indices(cloud, cloud, 2.0, 5)
+        with use_map_cache(chain_l):
+            leg_idx, leg_dist = knn_indices(cloud, cloud, 6)
+            leg_ball = ball_query_indices(cloud, cloud, 2.0, 5)
+        assert np.array_equal(expect_idx, got_idx)
+        assert np.array_equal(expect_idx, leg_idx)
+        assert np.array_equal(expect_ball, got_ball)
+        assert np.array_equal(expect_ball, leg_ball)
+        assert np.allclose(expect_dist, got_dist, rtol=1e-12, atol=1e-9)
+        assert np.allclose(expect_dist, leg_dist, rtol=1e-12, atol=1e-9)
+    assert batched.stats().tile_hits > 0
+    assert legacy.stats().tile_hits > 0
+
+
+@pytest.mark.parametrize("voxel_tile", [4, 8, 32])
+@pytest.mark.parametrize("algorithm", ["mergesort", "hash"])
+def test_kernel_map_modes_agree_across_frames(rng, voxel_tile, algorithm):
+    (batched, chain_b), (legacy, chain_l) = _chains(voxel_tile=voxel_tile)
+    coords, _ = quantize_unique(rng.integers(0, 64, (900, 3)), 1)
+    for step in range(3):
+        keep = ~np.all(coords < 8 * step, axis=1)
+        frame = np.ascontiguousarray(coords[keep])
+        expect = kernel_map(frame, frame, kernel_size=3, algorithm=algorithm)
+        with use_map_cache(chain_b):
+            got = kernel_map(frame, frame, kernel_size=3, algorithm=algorithm)
+        with use_map_cache(chain_l):
+            leg = kernel_map(frame, frame, kernel_size=3, algorithm=algorithm)
+        for table in (got, leg):
+            assert np.array_equal(expect.in_idx, table.in_idx)
+            assert np.array_equal(expect.out_idx, table.out_idx)
+            assert np.array_equal(expect.weight_idx, table.weight_idx)
+            assert expect.kernel_volume == table.kernel_volume
+    assert batched._composer.splices + batched._composer.full_sorts >= 3
+
+
+def test_voxelize_modes_agree_across_frames(rng):
+    (batched, chain_b), (legacy, chain_l) = _chains(voxel_tile=8)
+    for cloud in _drifting_clouds(rng, n=2500):
+        expect = voxelize(cloud, 0.2)
+        with use_map_cache(chain_b):
+            got = voxelize(cloud, 0.2)
+        with use_map_cache(chain_l):
+            leg = voxelize(cloud, 0.2)
+        for pair in (got, leg):
+            assert np.array_equal(expect[0], pair[0])
+            assert np.array_equal(expect[1], pair[1])
+
+
+# ----------------------------------------------------------------------
+# Network level: engine / cluster / fleet executors
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return FrameSequence(CFG)
+
+
+@pytest.fixture(scope="module")
+def oracles(sequence):
+    out = {}
+    for benchmark in ("MinkNet(o)", "PointNet++(c)"):
+        notation = sequence.notation(benchmark)
+        out[benchmark] = [
+            run_cold(SimRequest(benchmark=notation, scale=0.25, seed=i))
+            for i in range(N_FRAMES)
+        ]
+    return out
+
+
+def _assert_matches(session, oracle):
+    results = session.run(N_FRAMES)
+    for cold, frame in zip(oracle, results):
+        assert frame.completed
+        assert frame.result.reports["pointacc"] == cold.reports["pointacc"]
+
+
+@pytest.mark.parametrize("tiles", [
+    {"tile_size": 3.0, "halo": 1, "voxel_tile": 16},
+    {"tile_size": 8.0, "halo": 1, "voxel_tile": 48},
+])
+@pytest.mark.parametrize("bench_name", ["MinkNet(o)", "PointNet++(c)"])
+def test_engine_stream_batched_bit_identical(sequence, oracles, bench_name,
+                                             tiles):
+    session = StreamSession(
+        sequence, bench_name, scale=0.25, min_points=64,
+        batched_tiles=True, **tiles,
+    )
+    _assert_matches(session, oracles[bench_name])
+    assert session.tile_cache.stats().decomposed_calls > 0
+    if bench_name == "MinkNet(o)":
+        compose = session.tile_cache.stats().snapshot()["compose"]
+        assert compose["splices"] + compose["full_sorts"] > 0
+
+
+@pytest.mark.parametrize("bench_name", ["MinkNet(o)", "PointNet++(c)"])
+def test_cluster_stream_batched_bit_identical(sequence, oracles, bench_name,
+                                              tmp_path):
+    cluster = EngineCluster(
+        n_shards=2,
+        backends=("pointacc",),
+        tile_cache=TileMapCache(tile_size=4.0, halo=1, min_points=64,
+                                batched=True),
+        cache_dir=tmp_path / "spill",
+    )
+    session = StreamSession(sequence, bench_name, scale=0.25,
+                            cluster=cluster)
+    _assert_matches(session, oracles[bench_name])
+    assert cluster.tile_cache.stats().tile_hits > 0
+
+
+@pytest.mark.parametrize("bench_name", ["MinkNet(o)", "PointNet++(c)"])
+def test_fleet_batched_bit_identical(bench_name):
+    """Two same-world staggered streams through one shared batched front
+    (the WorldTileStore-wrapped chain): every frame equals its own cold
+    oracle, and the overlap earns cross-stream hits — for the kernel-map/
+    voxelize family and the kNN/ball-query family alike."""
+    sequences = [
+        FrameSequence(SequenceConfig(
+            seed=23, n_frames=N_FRAMES, base_points=2200, fov=16.0,
+            speed=2.0, n_dynamic=2, start_x=i * 1.0, sensor_seed=i,
+        ))
+        for i in range(2)
+    ]
+    specs = [
+        StreamSpec(name=f"veh{i}", sequence=seq, benchmark=bench_name,
+                   scale=0.25, n_frames=N_FRAMES)
+        for i, seq in enumerate(sequences)
+    ]
+    fleet = FleetSession(specs, n_shards=1, min_points=64,
+                         batched_tiles=True)
+    results = fleet.run()
+    for i, seq in enumerate(sequences):
+        notation = seq.notation(bench_name)
+        for frame_i in range(N_FRAMES):
+            cold = run_cold(SimRequest(benchmark=notation, scale=0.25,
+                                       seed=frame_i))
+            frame = results[f"veh{i}"][frame_i]
+            assert frame.result.reports["pointacc"] == cold.reports["pointacc"]
+    store = fleet.world_store
+    assert store is not None
+    # The second vehicle rides tiles the first one paid for.
+    assert store.stats().cross_hits > 0
+
+
+def test_bypassed_session_bit_identical(sequence, oracles):
+    """An aggressive density floor (everything bypasses) must still equal
+    the oracle — the bypass only re-routes to the digest path."""
+    session = StreamSession(
+        sequence, "MinkNet(o)", scale=0.25, min_points=64,
+        min_points_per_tile=1 << 16,
+    )
+    _assert_matches(session, oracles["MinkNet(o)"])
+    assert session.tile_cache.stats().bypassed_calls > 0
+    assert session.tile_cache.stats().decomposed_calls == 0

@@ -1,0 +1,268 @@
+"""The batched planner: key parity, batch chain API, delta composition.
+
+Exactness of the batched front against the reference ops is covered by
+``test_incremental.py`` (parametrized over both modes) and the property
+suites; this file pins the plan-specific machinery — sub-key parity with
+the per-tile front (one cache universe), the ``get_many``/``put_many``
+chain semantics, whole-call reuse, the kernel composer's splice and its
+certificate, and the small-cloud density bypass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import MapCache
+from repro.mapping.hooks import TieredLookup, use_map_cache
+from repro.mapping.kernel_map import kernel_map
+from repro.mapping.knn import knn_indices
+from repro.pointcloud.coords import quantize_unique, voxelize
+from repro.stream import TileMapCache
+from repro.stream.tiles import TilePartition
+
+
+def _pair(batched, tier=None, **kwargs):
+    kwargs.setdefault("min_points", 1)
+    front = TileMapCache(batched=batched, **kwargs)
+    tier = tier if tier is not None else MapCache(max_entries=1 << 15)
+    return front, tier, TieredLookup([tier], front=front)
+
+
+class TestKeyParity:
+    """Both modes address one cache universe: warm one, hit from the other."""
+
+    @pytest.mark.parametrize("warm_batched", [True, False])
+    def test_kernel_map_keys_shared(self, rng, warm_batched):
+        coords, _ = quantize_unique(rng.integers(0, 80, (900, 3)), 1)
+        _, tier, chain = _pair(warm_batched, voxel_tile=8)
+        with use_map_cache(chain):
+            kernel_map(coords, coords, kernel_size=3)
+        replay, _, chain2 = _pair(not warm_batched, tier=tier, voxel_tile=8)
+        with use_map_cache(chain2):
+            got = kernel_map(coords, coords, kernel_size=3)
+        per_tile = replay.stats().by_op["kernel_map/mergesort"]
+        assert per_tile["misses"] == 0 and per_tile["hits"] > 0
+        expect = kernel_map(coords, coords, kernel_size=3)
+        assert np.array_equal(expect.in_idx, got.in_idx)
+        assert np.array_equal(expect.out_idx, got.out_idx)
+        assert np.array_equal(expect.weight_idx, got.weight_idx)
+
+    @pytest.mark.parametrize("warm_batched", [True, False])
+    def test_knn_keys_shared(self, rng, warm_batched):
+        cloud = rng.uniform(0, 20, (400, 3))
+        _, tier, chain = _pair(warm_batched, tile_size=4.0)
+        with use_map_cache(chain):
+            knn_indices(cloud, cloud, 5)
+        replay, _, chain2 = _pair(not warm_batched, tier=tier, tile_size=4.0)
+        with use_map_cache(chain2):
+            got = knn_indices(cloud, cloud, 5)
+        assert replay.stats().by_op["knn"]["misses"] == 0
+        assert np.array_equal(knn_indices(cloud, cloud, 5)[0], got[0])
+
+    def test_voxelize_keys_shared(self, rng):
+        pts = rng.uniform(0, 30, (3000, 3))
+        _, tier, chain = _pair(False, voxel_tile=16)
+        with use_map_cache(chain):
+            voxelize(pts, 0.1)
+        replay, _, chain2 = _pair(True, tier=tier, voxel_tile=16)
+        with use_map_cache(chain2):
+            got = voxelize(pts, 0.1)
+        assert replay.stats().by_op["voxelize"]["misses"] == 0
+        expect = voxelize(pts, 0.1)
+        assert np.array_equal(expect[0], got[0])
+        assert np.array_equal(expect[1], got[1])
+
+
+class TestBatchChainApi:
+    def test_get_many_promotes_and_counts(self):
+        l1 = MapCache(max_entries=64)
+        l2 = MapCache(max_entries=64)
+        chain = TieredLookup([l1, l2])
+        keys = [bytes([i]) * 16 for i in range(4)]
+        l2.put(keys[1], np.arange(3), "op")
+        l2.put(keys[3], np.arange(5), "op")
+        values = chain.get_many(keys, "op")
+        assert values[0] is None and values[2] is None
+        assert np.array_equal(values[1], np.arange(3))
+        assert np.array_equal(values[3], np.arange(5))
+        # L2 hits were promoted into L1: a second batch hits L1 only.
+        assert l1.get(keys[1], "op") is not None
+        assert l1.stats().by_op["op"]["hits"] >= 1
+        # per-op counting saw every probe
+        assert l1.stats().by_op["op"]["misses"] >= 4
+
+    def test_put_many_writes_through_every_tier(self):
+        l1 = MapCache(max_entries=64)
+        l2 = MapCache(max_entries=64)
+        chain = TieredLookup([l1, l2])
+        keys = [bytes([i]) * 16 for i in range(3)]
+        values = [np.arange(i + 1) for i in range(3)]
+        chain.put_many(keys, values, "op")
+        for key, value in zip(keys, values):
+            assert np.array_equal(l1.get(key, "op"), value)
+            assert np.array_equal(l2.get(key, "op"), value)
+
+    def test_get_many_matches_sequential_gets(self):
+        l1 = MapCache(max_entries=64)
+        chain = TieredLookup([l1])
+        keys = [bytes([i]) * 16 for i in range(6)]
+        for i in (0, 2, 4):
+            l1.put(keys[i], np.array([i]), "op")
+        batch = chain.get_many(keys, "op")
+        single = [TieredLookup([l1]).get(k, "op") for k in keys]
+        for b, s in zip(batch, single):
+            assert (b is None) == (s is None)
+            if b is not None:
+                assert np.array_equal(b, s)
+
+
+class TestWholeCallReuse:
+    def test_identical_kernel_calls_share_one_table(self, rng):
+        coords, _ = quantize_unique(rng.integers(0, 60, (600, 3)), 1)
+        front, _, chain = _pair(True, voxel_tile=8)
+        with use_map_cache(chain):
+            first = kernel_map(coords, coords, kernel_size=3)
+            second = kernel_map(coords.copy(), coords.copy(), kernel_size=3)
+        # Content-keyed: a fresh equal-content array still hits, and the
+        # composed table is the same immutable object (which is what lets
+        # the MMU cache-replay memo carry across frames).
+        assert second is first
+        assert front.stats().by_op["kernel_map/mergesort/whole"]["hits"] == 1
+
+    def test_knn_whole_hits_are_owned(self, rng):
+        cloud = rng.uniform(0, 16, (300, 3))
+        front, _, chain = _pair(True, tile_size=4.0)
+        with use_map_cache(chain):
+            idx1, dist1 = knn_indices(cloud, cloud, 4)
+            idx1[:] = -1  # scribble on the result...
+            idx2, _ = knn_indices(cloud, cloud, 4)
+        # ...and the cached whole-call entry must be unaffected.
+        assert not np.array_equal(idx1, idx2)
+        assert idx2.base is None
+        assert front.stats().by_op["knn/whole"]["hits"] == 1
+
+
+class TestDeltaComposition:
+    def _warm_and_replay(self, coords, nxt, algorithm, chain):
+        with use_map_cache(chain):
+            kernel_map(coords, coords, kernel_size=3, algorithm=algorithm)
+        expect = kernel_map(nxt, nxt, kernel_size=3, algorithm=algorithm)
+        with use_map_cache(chain):
+            got = kernel_map(nxt, nxt, kernel_size=3, algorithm=algorithm)
+        assert np.array_equal(expect.in_idx, got.in_idx)
+        assert np.array_equal(expect.out_idx, got.out_idx)
+        assert np.array_equal(expect.weight_idx, got.weight_idx)
+
+    @pytest.mark.parametrize("algorithm", ["mergesort", "hash", "bruteforce"])
+    def test_splice_on_local_churn_is_exact(self, rng, algorithm):
+        coords, _ = quantize_unique(rng.integers(0, 80, (1200, 3)), 1)
+        keep = ~np.all(coords < 24, axis=1)
+        nxt = np.ascontiguousarray(coords[keep])
+        assert len(nxt) < len(coords)  # the scenario is non-trivial
+        front, _, chain = _pair(True, voxel_tile=8)
+        self._warm_and_replay(coords, nxt, algorithm, chain)
+        assert front._composer.splices >= 1
+        assert front._composer.fallbacks == 0
+
+    def test_certificate_catches_nonmonotone_renumbering(self, rng):
+        """Reordering whole tiles keeps every sub-key equal but breaks the
+        survivors' output-index order; the hash algorithm sorts on that
+        index, so the splice must self-reject and full-sort — and still
+        produce the exact reference table."""
+        coords, _ = quantize_unique(rng.integers(0, 40, (600, 3)), 1)
+        part = TilePartition(coords, 8)
+        perm = np.concatenate(
+            [part.indices(k) for k in reversed(list(part.keys()))]
+        )
+        shuf = np.ascontiguousarray(coords[perm])
+        front, _, chain = _pair(True, voxel_tile=8)
+        self._warm_and_replay(coords, shuf, "hash", chain)
+        assert front._composer.fallbacks >= 1
+
+    def test_mergesort_splices_through_renumbering(self, rng):
+        """Same tile-block reorder, mergesort order: the minor key is the
+        input point's world coordinate — unchanged — so the splice holds
+        (and stays exact)."""
+        coords, _ = quantize_unique(rng.integers(0, 40, (600, 3)), 1)
+        part = TilePartition(coords, 8)
+        perm = np.concatenate(
+            [part.indices(k) for k in reversed(list(part.keys()))]
+        )
+        shuf = np.ascontiguousarray(coords[perm])
+        front, _, chain = _pair(True, voxel_tile=8)
+        self._warm_and_replay(coords, shuf, "mergesort", chain)
+        assert front._composer.splices >= 1
+        assert front._composer.fallbacks == 0
+
+    def test_interleaved_callers_splice_with_enough_records(self, rng):
+        """Round-robin interleaving (the fleet regime) must still find
+        each caller's previous composition when the record capacity
+        covers the interleave width."""
+        n_callers = 6
+        clouds = []
+        for i in range(n_callers):
+            coords, _ = quantize_unique(
+                rng.integers(0, 48, (500, 3)) + 200 * i, 1
+            )
+            clouds.append(coords)
+        front, _, chain = _pair(True, voxel_tile=8,
+                                compose_records=n_callers + 2)
+        with use_map_cache(chain):
+            for rounds in range(2):
+                for i, coords in enumerate(clouds):
+                    # Perturb per round so whole-call reuse cannot mask
+                    # the composer (drop one corner tile per round,
+                    # relative to each caller's own region).
+                    keep = ~np.all(coords < 200 * i + 8 * rounds, axis=1)
+                    frame = np.ascontiguousarray(coords[keep])
+                    assert rounds == 0 or len(frame) < len(coords)
+                    kernel_map(frame, frame, kernel_size=3)
+        # Round 2: every caller splices against its own round-1 record.
+        assert front._composer.splices >= n_callers
+
+    def test_compose_records_validation(self):
+        with pytest.raises(ValueError):
+            TileMapCache(compose_records=0)
+
+    def test_compose_counters_surface_in_snapshot(self, rng):
+        coords, _ = quantize_unique(rng.integers(0, 40, (500, 3)), 1)
+        front, _, chain = _pair(True, voxel_tile=8)
+        with use_map_cache(chain):
+            kernel_map(coords, coords, kernel_size=3)
+        snap = front.stats().snapshot()
+        assert snap["compose"]["full_sorts"] >= 1
+
+
+class TestDensityBypass:
+    def test_sparse_cloud_takes_whole_op_path(self, rng):
+        # ~500 points over a 20m span at 2m tiles: ~0.5 points per tile.
+        cloud = rng.uniform(0, 20, (500, 3))
+        front, _, chain = _pair(True, tile_size=2.0, min_points_per_tile=8)
+        expect = knn_indices(cloud, cloud, 4)
+        with use_map_cache(chain):
+            got = knn_indices(cloud, cloud, 4)
+        assert np.array_equal(expect[0], got[0])
+        assert front.stats().decomposed_calls == 0
+        assert front.stats().bypassed_calls == 1
+        assert chain.stats().misses == 1  # the whole-op digest path ran
+
+    def test_dense_cloud_still_decomposes(self, rng):
+        cloud = rng.uniform(0, 8, (2000, 3))  # ~30+ points per 2m tile
+        front, _, chain = _pair(True, tile_size=2.0, min_points_per_tile=8)
+        with use_map_cache(chain):
+            knn_indices(cloud, cloud, 4)
+        assert front.stats().decomposed_calls == 1
+        assert front.stats().bypassed_calls == 0
+
+    def test_bypass_applies_to_kernel_maps_and_voxelize(self, rng):
+        coords, _ = quantize_unique(rng.integers(0, 500, (400, 3)), 1)
+        front, _, chain = _pair(True, voxel_tile=4,
+                                min_points_per_tile=16)
+        with use_map_cache(chain):
+            kernel_map(coords, coords, kernel_size=3)
+            voxelize(rng.uniform(0, 300, (400, 3)), 1.0)
+        assert front.stats().decomposed_calls == 0
+        assert front.stats().bypassed_calls == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileMapCache(min_points_per_tile=-1)

@@ -123,6 +123,121 @@ class TestHaloBox:
             halo_box(-1, 3)
 
 
+class TestBatchedPasses:
+    """digest_all / fill_slabs must reproduce the per-key paths exactly."""
+
+    def test_digest_all_matches_per_key_digests(self, cloud):
+        batched = partition(cloud, 4.0)
+        reference = partition(cloud.copy(), 4.0)
+        digests = batched.digest_all()
+        keys = list(batched.keys())
+        assert len(digests) == len(keys)
+        for key, digest in zip(keys, digests):
+            assert digest == reference.digest(key)
+
+    def test_fill_slabs_matches_per_key_slabs(self, rng):
+        coords = rng.integers(0, 64, (800, 3))
+        batched = TilePartition(coords, 16)
+        reference = TilePartition(coords.copy(), 16)
+        batched.fill_slabs(2)
+        for key in batched.keys():
+            got = batched._slabs(key, 2)
+            expect = reference._slabs(key, 2)
+            assert set(got) == set(expect)
+            for slot in expect:
+                assert got[slot][0] == expect[slot][0]
+                assert np.array_equal(got[slot][1], expect[slot][1])
+
+    def test_sorted_neighborhood_is_cached_and_consistent(self, cloud):
+        part = partition(cloud, 4.0)
+        key = next(iter(part.keys()))
+        digest, perm, hal = part.sorted_neighborhood(key, 1)
+        assert part.sorted_neighborhood(key, 1) == (digest, perm, hal)
+        _, canonical = part.neighborhood(key, 1)
+        assert np.array_equal(hal, np.sort(canonical))
+
+
+class TestShellDegenerateCases:
+    """Satellite: reach >= tile side, single-tile partitions, empty tiles."""
+
+    def test_reach_beyond_half_side_rejected(self, rng):
+        coords = rng.integers(0, 32, (200, 3))
+        part = TilePartition(coords, 8)
+        key = next(iter(part.keys()))
+        with pytest.raises(ValueError):
+            part.shell(key, 5)  # 2 * 5 > 8
+        # The boundary case 2 * reach == side is legal.
+        digest, canonical = part.shell(key, 4)
+        assert isinstance(digest, bytes) and canonical.ndim == 1
+
+    def test_single_tile_partition_shell_is_the_tile(self, rng):
+        coords = rng.integers(0, 8, (64, 3))
+        part = TilePartition(coords, 64)  # everything in one tile
+        (key,) = part.keys()
+        digest, canonical = part.shell(key, 2)
+        # No occupied neighbors: the shell is the tile's own points in
+        # original order, and its digest is a pure function of them.
+        assert np.array_equal(canonical, part.indices(key))
+        again = TilePartition(coords.copy(), 64)
+        assert again.shell(key, 2)[0] == digest
+
+    def test_empty_neighbor_equals_absent_neighbor(self, rng):
+        """An occupied neighbor whose facing slab is empty contributes
+        exactly what an absent neighbor does — the digest must not move
+        when interior-only neighbors appear."""
+        side = 16
+        # Tile (0,0,0): a few interior points.
+        center = rng.integers(4, 12, (30, 3))
+        part_alone = TilePartition(center, side)
+        key = coords_to_keys(np.array([[0, 0, 0]]))[0]
+        alone = part_alone.shell(int(key), 2)
+        # Add a +x neighbor whose points all sit > reach away from the
+        # shared face (x in [side+4, side+12)).
+        neighbor = rng.integers(4, 12, (25, 3))
+        neighbor[:, 0] += side
+        both = np.concatenate([center, neighbor])
+        part_both = TilePartition(both, side)
+        withn = part_both.shell(int(key), 2)
+        assert alone[0] == withn[0]
+        assert np.array_equal(alone[1], withn[1])
+
+    def test_digest_moves_only_when_boundary_slab_moves(self, rng):
+        """Moving a neighbor's interior point leaves the shell digest
+        untouched; moving a boundary-slab point changes it."""
+        side = 16
+        reach = 2
+        center = rng.integers(0, side, (40, 3))
+        neighbor = rng.integers(0, side, (40, 3))
+        neighbor[:, 0] += side  # the +x neighbor tile
+        # Pin one interior point and one low-boundary point.
+        neighbor[0] = [side + 8, 8, 8]          # interior (> reach from faces)
+        neighbor[1] = [side + 1, 8, 8]          # in the facing low slab
+        cloud = np.concatenate([center, neighbor])
+        key = int(coords_to_keys(np.array([[0, 0, 0]]))[0])
+        base = TilePartition(cloud, side).shell(key, reach)
+
+        interior_moved = cloud.copy()
+        interior_moved[len(center)] = [side + 9, 9, 9]  # still interior
+        assert TilePartition(interior_moved, side).shell(key, reach)[0] \
+            == base[0]
+
+        slab_moved = cloud.copy()
+        slab_moved[len(center) + 1] = [side + 2, 8, 8]  # still in the slab
+        assert TilePartition(slab_moved, side).shell(key, reach)[0] \
+            != base[0]
+
+    def test_slabs_of_boundary_free_tile_are_empty(self):
+        side = 16
+        coords = np.full((10, 3), 8, dtype=np.int64) + np.arange(10)[:, None] % 3
+        part = TilePartition(coords, side)
+        key = int(coords_to_keys(np.array([[0, 0, 0]]))[0])
+        assert part._slabs(key, 2) == {}
+        # And the batched fill agrees.
+        part2 = TilePartition(coords.copy(), side)
+        part2.fill_slabs(2)
+        assert part2._slabs(key, 2) == {}
+
+
 class TestContentDigest:
     def test_distinguishes_dtype_shape_and_bytes(self):
         a = np.arange(6, dtype=np.int64)

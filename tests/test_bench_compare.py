@@ -1,0 +1,96 @@
+"""scripts/bench_compare.py: payload diffing and the CI exit contract."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).resolve().parents[1] / "scripts" / "bench_compare.py"
+
+
+def _payload(speedup, command="bench-stream", schema=1, **extra):
+    return {"schema": schema, "command": command, "speedup": speedup, **extra}
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestExitContract:
+    def test_improvement_passes(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(3.5))
+        result = _run(base, cand)
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+
+    def test_small_drop_within_threshold_passes(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(2.8))
+        assert _run(base, cand).returncode == 0
+
+    def test_regression_fails_with_exit_1(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(2.0))
+        result = _run(base, cand)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stderr
+
+    def test_custom_threshold(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(2.0))
+        assert _run(base, cand, "--threshold", "0.5").returncode == 0
+
+
+class TestFormatGuards:
+    def test_unknown_schema_exits_2(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0, schema=99))
+        cand = _write(tmp_path, "b.json", _payload(3.0))
+        assert _run(base, cand).returncode == 2
+
+    def test_mismatched_commands_exit_2(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0, command="bench-stream"))
+        cand = _write(tmp_path, "b.json", _payload(3.0, command="bench-fleet"))
+        assert _run(base, cand).returncode == 2
+
+    def test_missing_metric_exits_2(self, tmp_path):
+        base = _write(tmp_path, "a.json",
+                      {"schema": 1, "command": "bench-stream"})
+        cand = _write(tmp_path, "b.json", _payload(3.0))
+        assert _run(base, cand).returncode == 2
+
+    def test_unreadable_file_exits_2(self, tmp_path):
+        cand = _write(tmp_path, "b.json", _payload(3.0))
+        assert _run(str(tmp_path / "missing.json"), cand).returncode == 2
+
+    def test_invalid_json_exits_2(self, tmp_path):
+        bad = tmp_path / "a.json"
+        bad.write_text("not json {")
+        cand = _write(tmp_path, "b.json", _payload(3.0))
+        assert _run(str(bad), cand).returncode == 2
+
+
+class TestRealPayloads:
+    def test_roundtrip_with_cli_payload(self, tmp_path):
+        """A payload actually written by the CLI passes through unchanged
+        (schema field is what the CLI stamps)."""
+        from repro.cli import BENCH_JSON_SCHEMA
+
+        payload = _payload(4.2, schema=BENCH_JSON_SCHEMA,
+                           frames=6, benchmark="MinkNet(o)")
+        base = _write(tmp_path, "a.json", payload)
+        cand = _write(tmp_path, "b.json", payload)
+        result = _run(base, cand)
+        assert result.returncode == 0
+        assert "+0.0%" in result.stdout

@@ -23,6 +23,13 @@ class TestParser:
         args = build_parser().parse_args(["serve-stream"])
         assert args.benchmark == "MinkNet(o)"
         assert args.shards == 0 and not args.no_tiles
+        assert args.min_tile_points == 0 and not args.no_batch
+
+    def test_fleet_tile_front_knobs(self):
+        args = build_parser().parse_args(
+            ["serve-fleet", "--min-tile-points", "32", "--no-batch"]
+        )
+        assert args.min_tile_points == 32 and args.no_batch
 
     def test_bench_stream_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
@@ -166,6 +173,16 @@ class TestCommands:
         assert "tile cache:" in out
         assert "tile reuse by op" in out
         assert "geometry-only: yes" in out
+
+    def test_serve_stream_per_tile_front_with_bypass(self, capsys):
+        """The ablation knobs wire through: per-tile front plus a density
+        floor high enough that every call bypasses decomposition."""
+        code = main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--benchmark", "MinkNet(o)", "--no-batch",
+                     "--min-tile-points", "100000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2/2 frames" in out
 
     def test_serve_stream_cluster_with_deadlines(self, capsys):
         code = main(["serve-stream", "--frames", "2", "--scale", "0.1",
