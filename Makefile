@@ -13,6 +13,8 @@
 #                       at reduced scale
 #   make bench-fleet  - fleet throughput (cross-stream sharing vs per-stream
 #                       caching; the benchmark pins its own scale)
+#   make bench-workers- worker-process scaling (fleet at workers={0,2,4};
+#                       skips below 4 cores; the benchmark pins its own scale)
 #   make bench-compare BASE=a.json CAND=b.json
 #                     - diff two bench-* --json payloads; exits 1 on a >10%
 #                       throughput regression (scripts/bench_compare.py)
@@ -23,7 +25,7 @@ SMOKE_SCALE ?= 0.1
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream bench-fleet bench-compare
+.PHONY: test test-fast bench bench-smoke engine-bench bench-cluster bench-stream bench-fleet bench-workers bench-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +57,9 @@ bench-stream:
 
 bench-fleet:
 	$(PYTHON) -m pytest benchmarks/test_fleet_throughput.py -q
+
+bench-workers:
+	$(PYTHON) -m pytest benchmarks/test_worker_scaling.py -q -rs
 
 bench-compare:
 	$(PYTHON) scripts/bench_compare.py $(BASE) $(CAND)

@@ -381,6 +381,10 @@ def cmd_serve_cluster(args) -> int:
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 2
     backends = _parse_backends(args.backends)
     requests = _build_workload(
         args, tenant_pool=args.tenant_pool, deadline_ms=args.deadline_ms
@@ -391,6 +395,7 @@ def cmd_serve_cluster(args) -> int:
         policy=args.policy,
         routing=args.routing,
         cache_dir=args.cache_dir,
+        workers=args.workers,
     )
     first = backends[0]
     first_request_hits = None
@@ -412,10 +417,12 @@ def cmd_serve_cluster(args) -> int:
               f"{'reuse' if result.trace_reused else 'build':>6s} "
               f"{deadline:>8s}")
     stats = cluster.stats()
+    cluster.close()  # stats already collected; stop worker processes
+    workers = f", workers={stats.workers}" if stats.workers else ""
     print(f"\nserved {stats.admitted}/{stats.requests} requests "
           f"({stats.rejected} rejected) in {stats.wall_seconds:.3f}s "
           f"({stats.throughput_rps:.1f} req/s, shards={args.shards}, "
-          f"routing={args.routing}, policy={args.policy})")
+          f"routing={args.routing}, policy={args.policy}{workers})")
     print(f"deadlines: {stats.deadline_met} met, {stats.deadline_missed} missed")
     print(f"shard requests: {stats.routing['counts']}")
     l2 = stats.l2
@@ -440,9 +447,23 @@ def cmd_serve_cluster(args) -> int:
 
 
 def cmd_bench_cluster(args) -> int:
-    """Warm cluster vs cold single engine on a repeated-workload stream."""
+    """Warm cluster vs cold single engine on a repeated-workload stream.
+
+    With ``--workers N`` two further arms serve the same stream through a
+    worker-mode cluster (fresh per-worker caches, no disk spill): a *cold*
+    pass, whose real compute spreads over the worker processes, and a
+    warm repeat.  The JSON payload records ``worker_scaling`` — cold
+    single-engine wall over cold worker wall, i.e. how much of the
+    compute the processes actually parallelized — for run-to-run gating
+    (both sides are compute-bound, so the ratio is stable where a
+    warm-vs-warm ratio of microsecond cache-hit passes would be noise).
+    """
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
         return 2
     requests, benchmarks = _repeated_workload(args)
     n = len(requests)
@@ -469,16 +490,50 @@ def cmd_bench_cluster(args) -> int:
          f"{warm_s:.3f}", f"{n / warm_s:.1f}",
          str(stats.routing["counts"])],
     ]
+
+    worker_s = worker_cold_s = None
+    if args.workers > 0:
+        # No cache_dir here: the warm pass above may have spilled to it,
+        # and a disk warm-start would let cache reuse masquerade as
+        # process scaling.
+        with EngineCluster(
+            n_shards=args.shards, backends=("pointacc",), policy=args.policy,
+            routing=args.routing, workers=args.workers,
+        ) as worker_cluster:
+            t0 = time.perf_counter()
+            worker_cold_results = worker_cluster.run_batch(requests)
+            worker_cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            worker_results = worker_cluster.run_batch(requests)
+            worker_s = time.perf_counter() - t0
+            worker_stats = worker_cluster.stats()
+        mismatch += _count_mismatches(cold_results, worker_cold_results)
+        mismatch += _count_mismatches(cold_results, worker_results)
+        rows.append([
+            f"worker cluster cold ({worker_stats.workers} procs)",
+            f"{worker_cold_s:.3f}", f"{n / worker_cold_s:.1f}",
+            str(worker_stats.routing["counts"]),
+        ])
+        rows.append([
+            f"worker cluster warm ({worker_stats.workers} procs)",
+            f"{worker_s:.3f}", f"{n / worker_s:.1f}",
+            str(worker_stats.routing["counts"]),
+        ])
+
     print(format_table(
         ["mode", "wall s", "req/s", "shard requests"],
         rows, title=_bench_title(args, n, benchmarks),
     ))
     code = _print_speedup(cold_s, warm_s, mismatch)
+    if worker_s is not None:
+        print(f"worker scaling: {cold_s / worker_cold_s:.2f}x cold compute "
+              f"over {args.workers} worker processes "
+              f"(warm repeat {cold_s / worker_s:.2f}x over cold)")
     if args.cache_dir:
         print(f"map store persisted under {args.cache_dir} "
               f"(a later serve-cluster --cache-dir warm-starts from it)")
     if args.json:
-        _write_json(args.json, {
+        payload = {
             "command": "bench-cluster",
             "requests": n,
             "benchmarks": benchmarks,
@@ -494,7 +549,16 @@ def cmd_bench_cluster(args) -> int:
             "mismatches": mismatch,
             "shard_requests": stats.routing["counts"],
             "l2": stats.l2,
-        })
+        }
+        if worker_s is not None:
+            payload.update({
+                "workers": args.workers,
+                "worker_cold_seconds": worker_cold_s,
+                "worker_seconds": worker_s,
+                "worker_speedup": cold_s / worker_s,
+                "worker_scaling": cold_s / worker_cold_s,
+            })
+        _write_json(args.json, payload)
     return code
 
 
@@ -544,6 +608,7 @@ def cmd_serve_stream(args) -> int:
               f"{tiles['fallback_rows']} rows recomputed globally")
         print(f"tile reuse by op (hits/lookups): "
               f"{_format_by_op(tiles['by_op'])}")
+    session.close()
     return 0
 
 
@@ -592,6 +657,7 @@ def cmd_bench_stream(args) -> int:
         for c, w in zip(cold, warm)
     )
     summary = session.summary()
+    session.close()  # stats collected; stop worker processes, when any
     tiles = summary.get("tiles") or {}
     n = args.frames
     rows = [
@@ -664,6 +730,7 @@ def _build_fleet_session(args) -> FleetSession:
         batched_tiles=not args.no_batch,
         use_tiles=not args.no_tiles,
         share_world_tiles=not args.no_share,
+        workers=args.workers,
     )
 
 
@@ -716,12 +783,14 @@ def cmd_serve_fleet(args) -> int:
           f"({summary['rejected']} rejected) in "
           f"{summary['wall_seconds']:.3f}s "
           f"({summary['throughput_fps']:.1f} frames/s, "
-          f"{summary['rounds']} rounds, shards={args.shards})")
+          f"{summary['rounds']} rounds, shards={args.shards}"
+          + (f", workers={args.workers}" if args.workers else "") + ")")
     for name, tally in summary["per_stream"].items():
         print(f"stream {name}: {tally['completed']}/{tally['frames']} "
               f"completed, {tally['deadline_met']} met / "
               f"{tally['deadline_missed']} missed")
     _print_world_tiles(summary)
+    session.close()
     return 0
 
 
@@ -773,6 +842,7 @@ def cmd_bench_fleet(args) -> int:
         for a, b in zip(solo_results[name], fleet_results[name])
     )
     summary = session.summary()
+    session.close()  # stats collected; stop worker processes, when any
     world = summary.get("world_tiles", {})
     n = summary["frames"]
     rows = [
@@ -799,6 +869,7 @@ def cmd_bench_fleet(args) -> int:
             "disjoint": bool(args.disjoint),
             "start_gap": args.start_gap,
             "shards": args.shards,
+            "workers": args.workers,
             "tile_size": args.tile_size,
             "halo": args.halo,
             "solo_seconds": solo_s,
@@ -812,6 +883,8 @@ def cmd_bench_fleet(args) -> int:
 
 def _build_stream_session(args) -> StreamSession:
     """Shared serve-stream / bench-stream session construction."""
+    if args.workers > 0 and args.shards < 1:
+        raise ValueError("--workers requires a cluster (--shards > 0)")
     sequence = FrameSequence(SequenceConfig(
         seed=args.seq_seed,
         n_frames=args.frames,
@@ -821,6 +894,11 @@ def _build_stream_session(args) -> StreamSession:
     cluster = None
     if args.shards > 0:
         from .stream import TileMapCache, streaming_map_cache
+
+        # Worker processes fork when the cluster is built and resolve
+        # stream-sourced benchmarks from their (inherited) process-local
+        # registry — the sequence must be registered before that point.
+        sequence.register()
 
         cluster = EngineCluster(
             n_shards=args.shards,
@@ -834,6 +912,7 @@ def _build_stream_session(args) -> StreamSession:
                 if not args.no_tiles else None
             ),
             map_cache=streaming_map_cache,
+            workers=args.workers,
         )
     return StreamSession(
         sequence,
@@ -927,6 +1006,9 @@ def build_parser() -> argparse.ArgumentParser:
     sc_p.add_argument("--cache-dir", default=None, metavar="DIR",
                       help="persist the shared map store here (warm-starts "
                            "later invocations)")
+    sc_p.add_argument("--workers", type=int, default=0,
+                      help="run shards in this many worker processes "
+                           "(0 = in-process)")
     sc_p.add_argument("--tenant-pool", type=int, default=2,
                       help="distinct tenants cycled through the synthetic stream")
     sc_p.add_argument("--deadline-ms", type=float, default=None,
@@ -946,6 +1028,9 @@ def build_parser() -> argparse.ArgumentParser:
     bc_p.add_argument("--shards", type=int, default=4)
     bc_p.add_argument("--routing", choices=ROUTING_MODES, default="affinity")
     bc_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    bc_p.add_argument("--workers", type=int, default=0,
+                      help="additionally time a worker-mode cluster with "
+                           "this many processes (0 = skip the arm)")
     add_json_arg(bc_p)
 
     def add_stream_args(p):
@@ -975,6 +1060,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backends", default="pointacc")
         p.add_argument("--shards", type=int, default=0,
                        help="> 0 serves through an engine cluster")
+        p.add_argument("--workers", type=int, default=0,
+                       help="run cluster shards in this many worker "
+                            "processes (needs --shards > 0)")
         p.add_argument("--deadline-ms", type=float, default=None)
         p.add_argument("--period-ms", type=float, default=100.0,
                        help="frame arrival period (the stream's native rate)")
@@ -1029,6 +1117,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backends", default="pointacc")
         p.add_argument("--shards", type=int, default=2,
                        help="cluster shards (0 = single shared engine)")
+        p.add_argument("--workers", type=int, default=0,
+                       help="run cluster shards in this many worker "
+                            "processes (needs --shards > 0)")
         p.add_argument("--deadline-ms", type=float, default=None)
 
     sf_p = sub.add_parser(

@@ -6,20 +6,24 @@ The production-scale layer above :mod:`repro.engine`: an
 every shard's private L1 map cache with one shared, disk-persistable
 :class:`SharedMapStore`, and layers deadline-aware admission plus
 per-tenant fair share (:class:`QoSScheduler`) on top — all surfaced through
-an aggregated :class:`ClusterStats`.  See ``README.md`` ("Cluster
-architecture") for the tier diagram and deadline semantics.
+an aggregated :class:`ClusterStats`.  With ``workers=N`` the shards run in
+real OS processes (:class:`WorkerPool`) sharing the store's disk tier as a
+cross-process L2.  See ``README.md`` ("Cluster architecture") for the tier
+diagram and deadline semantics.
 """
 
 from .cluster import ClusterStats, EngineCluster
 from .qos import QoSScheduler, TenantAccount
 from .router import ROUTING_MODES, ShardRouter
 from .store import SharedMapStore
+from .workers import WorkerPool
 from .workload import WorkloadError, known_benchmarks, load_requests, synthetic_stream
 
 __all__ = [
     "ClusterStats",
     "EngineCluster",
     "QoSScheduler",
+    "WorkerPool",
     "ROUTING_MODES",
     "ShardRouter",
     "SharedMapStore",

@@ -19,10 +19,17 @@ into a servable fleet:
    serve everywhere — and persist across CLI invocations when the store
    has a cache directory.
 
+With ``workers=N`` the shards stop being a routing fiction: each shard's
+engine runs in a real OS process (:mod:`repro.cluster.workers`), requests
+and results cross the boundary pickled, and the BLAKE2b-keyed disk tier of
+:class:`~repro.cluster.store.SharedMapStore` becomes the cross-process L2.
+The default ``workers=0`` keeps today's in-process execution exactly.
+
 The correctness contract is inherited, not relaxed: for admitted requests,
 cluster output is bit-identical to cold sequential ``PointAccModel`` runs
-for every shard count, routing mode, and cache-tier configuration
-(``tests/properties/test_prop_cluster.py``).
+for every shard count, routing mode, cache-tier configuration *and worker
+count* (``tests/properties/test_prop_cluster.py``,
+``tests/properties/test_prop_workers.py``).
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from ..engine.map_cache import MapCache
 from .qos import QoSScheduler
 from .router import ShardRouter
 from .store import SharedMapStore
+from .workers import WorkerPool, engine_spec, merge_snapshots
 
 __all__ = ["ClusterStats", "EngineCluster"]
 
@@ -54,6 +62,8 @@ class ClusterStats:
     shards: list = field(default_factory=list)  # per-shard EngineStats.summary()
     l2: dict = field(default_factory=dict)  # SharedMapStore snapshot
     front: dict = field(default_factory=dict)  # shared tile front snapshot
+    workers: int = 0  # worker processes (0 = in-process execution)
+    front_inner: dict = field(default_factory=dict)  # inner front (worker mode)
 
     @property
     def throughput_rps(self) -> float:
@@ -74,6 +84,8 @@ class ClusterStats:
             "shards": list(self.shards),
             "l2": dict(self.l2),
             "front": dict(self.front),
+            "workers": self.workers,
+            "front_inner": dict(self.front_inner),
         }
 
 
@@ -112,6 +124,24 @@ class EngineCluster:
         Fleet serving passes a :class:`~repro.fleet.WorldTileStore`-wrapped
         front here so those hits are additionally attributed per stream;
         its snapshot surfaces as ``ClusterStats.front``.
+    workers:
+        ``0`` (default) runs every shard in-process, exactly as before.
+        ``N >= 1`` starts ``min(N, n_shards)`` worker processes
+        (:class:`~repro.cluster.workers.WorkerPool`), shard ``s`` living in
+        worker ``s % N``, so shards execute concurrently on a multi-core
+        box.  Requests and results must pickle; ``l2`` must be left
+        ``"auto"`` or ``None`` (each worker builds its own store — with a
+        ``cache_dir`` those stores share the disk tier, which is the
+        cross-process L2); ``tile_cache`` is copied into each worker (hits
+        no longer cross workers in-memory, only via the disk tier).
+        Output stays bit-identical to ``workers=0``.
+    overlap:
+        Pipeline trace building with backend cost-model evaluation inside
+        each shard engine (frame k+1's trace builds while frame k's cost
+        model runs).  ``None`` (default) enables it exactly when
+        ``workers > 0``; pass ``True``/``False`` to force.  Bit-identical
+        either way — builds stay strictly sequential on one builder
+        thread.
     """
 
     def __init__(
@@ -125,7 +155,19 @@ class EngineCluster:
         cache_dir=None,
         tile_cache=None,
         reuse_traces: bool = True,
+        workers: int = 0,
+        overlap: bool | None = None,
     ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if workers > 0 and not (l2 == "auto" or l2 is None):
+            raise ValueError(
+                "workers>0 cannot share a pre-built in-memory L2 store; "
+                "leave l2='auto' (with cache_dir for a shared disk tier) "
+                "or l2=None"
+            )
+        overlap = workers > 0 if overlap is None else bool(overlap)
+        self.overlap = overlap
         if l2 == "auto":
             l2 = SharedMapStore(cache_dir=cache_dir)
         elif cache_dir is not None:
@@ -141,17 +183,38 @@ class EngineCluster:
                 return map_cache()
             return map_cache
 
-        self.shards = [
-            SimulationEngine(
+        self._n_shards = n_shards
+        self._pool: WorkerPool | None = None
+        if workers > 0:
+            # Shard engines live in the pool's processes; the parent keeps
+            # no in-process engines (self.shards stays empty) and its own
+            # L2 store object only as the save_cache()/introspection
+            # surface — worker stores write through to the same cache_dir.
+            self.shards = []
+            spec = engine_spec(
                 backends=backends,
                 policy=policy,
-                map_cache=shard_l1(),
-                l2=l2,
+                map_cache=map_cache,
+                l2="auto" if l2 is not None else None,
+                cache_dir=cache_dir,
                 tile_cache=tile_cache,
                 reuse_traces=reuse_traces,
+                overlap=overlap,
             )
-            for _ in range(n_shards)
-        ]
+            self._pool = WorkerPool(workers, n_shards, spec)
+        else:
+            self.shards = [
+                SimulationEngine(
+                    backends=backends,
+                    policy=policy,
+                    map_cache=shard_l1(),
+                    l2=l2,
+                    tile_cache=tile_cache,
+                    reuse_traces=reuse_traces,
+                    overlap=overlap,
+                )
+                for _ in range(n_shards)
+            ]
         self._served = 0
         self._rejected = 0
         self._wall = 0.0
@@ -160,7 +223,12 @@ class EngineCluster:
 
     @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        return self._n_shards
+
+    @property
+    def workers(self) -> int:
+        """Worker processes backing the shards (0 = in-process)."""
+        return self._pool.n_workers if self._pool is not None else 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -195,23 +263,40 @@ class EngineCluster:
                 runs[-1][1].append(i)
             else:
                 runs.append((shard, [i]))
-        for shard, idxs in runs:
-            results = self.shards[shard].run_batch([requests[i] for i in idxs])
-            elapsed = time.perf_counter() - t0
-            for i, result in zip(idxs, results):
-                result.index = base + i  # rebase engine-local -> cluster index
-                result.shard = shard
-                modeled = sum(r.total_seconds for r in result.reports.values())
-                met = self.qos.record(requests[i], elapsed, modeled)
-                result.deadline_met = met
-                if met is True:
-                    self._deadline_met += 1
-                elif met is False:
-                    self._deadline_missed += 1
-                completed.append((i, result))
+        if self._pool is not None:
+            # Worker mode: every run is dispatched up front (each worker
+            # drains its pipe FIFO, so same-shard QoS order is preserved
+            # while different workers execute concurrently); deadlines are
+            # scored when a run's reply arrives, against real elapsed time.
+            for run_id, results in self._pool.run_window(runs, requests):
+                shard, idxs = runs[run_id]
+                self._score_run(requests, idxs, results, shard, base,
+                                time.perf_counter() - t0, completed)
+        else:
+            for shard, idxs in runs:
+                results = self.shards[shard].run_batch(
+                    [requests[i] for i in idxs]
+                )
+                self._score_run(requests, idxs, results, shard, base,
+                                time.perf_counter() - t0, completed)
         self._served += len(requests)
         self._wall += time.perf_counter() - t0
         return completed
+
+    def _score_run(self, requests, idxs, results, shard: int, base: int,
+                   elapsed: float, completed: list) -> None:
+        """Rebase one same-shard run's results and score its deadlines."""
+        for i, result in zip(idxs, results):
+            result.index = base + i  # rebase engine-local -> cluster index
+            result.shard = shard
+            modeled = sum(r.total_seconds for r in result.reports.values())
+            met = self.qos.record(requests[i], elapsed, modeled)
+            result.deadline_met = met
+            if met is True:
+                self._deadline_met += 1
+            elif met is False:
+                self._deadline_missed += 1
+            completed.append((i, result))
 
     def run_batch(self, requests) -> list[SimResult]:
         """Serve a batch; results come back in *submission* order.
@@ -251,8 +336,13 @@ class EngineCluster:
     # ------------------------------------------------------------------
 
     def stats(self) -> ClusterStats:
-        """Aggregated fleet snapshot (shard stats taken at call time)."""
-        return ClusterStats(
+        """Aggregated fleet snapshot (shard stats taken at call time).
+
+        In worker mode the per-shard engine summaries and L2 / tile-front
+        snapshots live in the worker processes; they are collected over
+        the pipes and merged (counters summed, rates recomputed — see
+        :func:`~repro.cluster.workers.merge_snapshots`)."""
+        stats = ClusterStats(
             requests=self._served,
             admitted=self._served - self._rejected,
             rejected=self._rejected,
@@ -261,13 +351,27 @@ class EngineCluster:
             deadline_missed=self._deadline_missed,
             routing=self.router.snapshot(),
             tenants=self.qos.summary(),
-            shards=[shard.stats().summary() for shard in self.shards],
-            l2=self.l2.stats().snapshot() if self.l2 is not None else {},
-            front=(
+            workers=self.workers,
+        )
+        if self._pool is not None:
+            payloads = self._pool.stats()
+            by_shard: dict[int, dict] = {}
+            for payload in payloads:
+                by_shard.update(payload["shards"])
+            stats.shards = [by_shard[s] for s in sorted(by_shard)]
+            stats.l2 = merge_snapshots(p["l2"] for p in payloads)
+            stats.front = merge_snapshots(p["front"] for p in payloads)
+            stats.front_inner = merge_snapshots(
+                p["front_inner"] for p in payloads
+            )
+        else:
+            stats.shards = [shard.stats().summary() for shard in self.shards]
+            stats.l2 = self.l2.stats().snapshot() if self.l2 is not None else {}
+            stats.front = (
                 self.tile_cache.stats().snapshot()
                 if self.tile_cache is not None else {}
-            ),
-        )
+            )
+        return stats
 
     def save_cache(self, cache_dir=None) -> int:
         """Spill the shared store to disk; returns entries written.
@@ -279,3 +383,18 @@ class EngineCluster:
         if self.l2 is None:
             return 0
         return self.l2.save(cache_dir)
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for ``workers=0``).
+
+        Idempotent; the cluster must not serve after close in worker
+        mode.  Prefer ``with EngineCluster(workers=N) as cluster: ...``.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "EngineCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

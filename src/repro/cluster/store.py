@@ -26,6 +26,16 @@ directory is brought back under budget by deleting least-recently-used
 entry files (disk hits refresh a file's mtime, so recency survives across
 processes).  An unbounded store (the default) keeps the original
 disk-is-the-overflow-tier behaviour.
+
+Several processes may share one cache directory (that is the worker-mode
+cluster's cross-process L2).  Writes stay atomic (``os.replace`` of a
+pid-suffixed temp file), and every path that touches a spill file
+tolerates the file vanishing underneath it — another worker's budget
+enforcement may unlink any entry at any time.  A vanished file is a plain
+miss (or a skipped eviction), never an error and never an exception.
+Temp files orphaned by a process killed mid-write are swept on store
+construction and during budget rescans (dead owner pid, or older than
+``_TMP_MAX_AGE_S``).
 """
 
 from __future__ import annotations
@@ -33,12 +43,32 @@ from __future__ import annotations
 import os
 import pathlib
 import pickle
+import time
 
 from ..engine.map_cache import MapCache, _copy_value
 
 __all__ = ["SharedMapStore"]
 
 _SUFFIX = ".map"
+_TMP_MARKER = _SUFFIX + ".tmp"
+#: Age beyond which an orphaned ``.map.tmp<pid>`` file is swept even when
+#: its owner pid appears alive (pid reuse protection): no healthy write
+#: holds a temp file for an hour.
+_TMP_MAX_AGE_S = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown errors count as alive (sweeping
+    a live writer's temp file would corrupt its in-flight spill)."""
+    if pid < 1:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours to signal
+    return True
 
 
 class SharedMapStore(MapCache):
@@ -93,6 +123,11 @@ class SharedMapStore(MapCache):
             {"disk_hits": 0, "disk_errors": 0, "disk_evictions": 0,
              "persistent": self.cache_dir is not None}
         )
+        if self.cache_dir is not None:
+            # A process killed between open() and os.replace() leaves a
+            # `.map.tmp<pid>` orphan that the *.map-filtered budget scan
+            # never sees; sweep debris from dead writers up front.
+            self._sweep_stale_tmp(self.cache_dir)
 
     @property
     def disk_hits(self) -> int:
@@ -110,17 +145,68 @@ class SharedMapStore(MapCache):
         base = cache_dir if cache_dir is not None else self.cache_dir
         return base / (key.hex() + _SUFFIX)
 
+    def _sweep_stale_tmp(self, cache_dir: pathlib.Path) -> int:
+        """Unlink ``<digest>.map.tmp<pid>`` orphans from dead writers.
+
+        A process killed between ``open`` and ``os.replace`` leaves its
+        temp file behind forever: invisible to the ``*.map``-filtered
+        budget scan, never reused (temp names are pid-suffixed), growing
+        the directory unboundedly.  A temp file is debris iff its owner
+        pid is gone — or it is old enough (:data:`_TMP_MAX_AGE_S`) that
+        the pid must have been recycled.  Live writers (including this
+        process) are never touched.  Returns the number swept.
+        """
+        try:
+            with os.scandir(cache_dir) as it:
+                candidates = [
+                    dirent.name for dirent in it if _TMP_MARKER in dirent.name
+                ]
+        except OSError:
+            return 0
+        swept = 0
+        now = time.time()
+        for name in candidates:
+            pid_text = name.rsplit(_TMP_MARKER, 1)[-1]
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                continue  # not one of our temp files
+            if pid == os.getpid():
+                continue
+            if _pid_alive(pid):
+                try:
+                    age = now - (cache_dir / name).stat().st_mtime
+                except OSError:
+                    continue  # vanished (owner finished or another sweep won)
+                if age < _TMP_MAX_AGE_S:
+                    continue
+            try:
+                os.unlink(cache_dir / name)
+            except OSError:
+                continue
+            swept += 1
+        return swept
+
     def _write_entry(self, key: bytes, value, cache_dir: pathlib.Path) -> None:
         cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._path(key, cache_dir)
+        replaced = 0
+        if self.max_disk_bytes is not None:
+            # Overwrites reuse the file via os.replace: without remembering
+            # the prior size, the running estimate would add the full size
+            # on every put of the same key and drift upward forever.
+            try:
+                replaced = path.stat().st_size
+            except OSError:
+                replaced = 0
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         with open(tmp, "wb") as fh:
             pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)  # atomic: a reader never sees a partial file
-        self._enforce_disk_budget(cache_dir, path)
+        self._enforce_disk_budget(cache_dir, path, replaced=replaced)
 
     def _enforce_disk_budget(self, cache_dir: pathlib.Path,
-                             wrote: pathlib.Path) -> None:
+                             wrote: pathlib.Path, replaced: int = 0) -> None:
         """Delete LRU spill files until the directory fits the budget.
 
         Recency is file mtime (writes stamp it, disk hits refresh it), so
@@ -128,18 +214,20 @@ class SharedMapStore(MapCache):
         sharing one directory.  Ties break on name for determinism.
 
         The directory is only re-scanned when the running byte estimate
-        crosses the budget (or does not exist yet): the estimate grows on
-        every write and never shrinks on its own, so it can only err
-        *upward* — toward an early rescan, never toward missing an
-        overflow — which keeps the common write O(1) instead of
-        O(spilled files), while staying correct when several processes
-        share one directory.
+        crosses the budget (or does not exist yet): the estimate adds each
+        write's *net* growth (new size minus the size of the file the
+        write replaced) and never shrinks on its own — other processes'
+        writes are invisible until a rescan, so the estimate trades
+        exactness for an O(1) common write, resynchronizing on every
+        rescan.  Rescans also sweep orphaned temp files (see
+        :meth:`_sweep_stale_tmp`) so mid-write-kill debris cannot
+        accumulate outside the budget's sight.
         """
         if self.max_disk_bytes is None:
             return
         if self._disk_bytes_estimate is not None:
             try:
-                self._disk_bytes_estimate += wrote.stat().st_size
+                self._disk_bytes_estimate += wrote.stat().st_size - replaced
             except OSError:
                 self._disk_bytes_estimate = None  # force a rescan
             if (
@@ -147,6 +235,7 @@ class SharedMapStore(MapCache):
                 and self._disk_bytes_estimate <= self.max_disk_bytes
             ):
                 return
+        self._sweep_stale_tmp(cache_dir)
         entries = []
         try:
             with os.scandir(cache_dir) as it:
@@ -177,11 +266,16 @@ class SharedMapStore(MapCache):
 
     def _read_entry(self, key: bytes):
         path = self._path(key)
-        if not path.is_file():
-            return None
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
+        except FileNotFoundError:
+            # Never spilled — or spilled and since evicted by another
+            # process sharing this directory.  A plain miss either way
+            # (opening directly instead of pre-checking is_file() also
+            # closes the check-then-open race against a concurrent
+            # eviction).
+            return None
         except Exception:
             # Corrupt/truncated spill (killed process, disk-full partial
             # write): count it, *delete it* so the slot can be rewritten by
@@ -215,6 +309,10 @@ class SharedMapStore(MapCache):
             try:
                 os.utime(self._path(key))
             except OSError:
+                # Another process's budget enforcement unlinked the file
+                # between our read and this refresh.  We already hold the
+                # value, so the lookup stays a hit; the entry simply lives
+                # on only in our memory tier from here.
                 pass
         stats.extra["disk_hits"] += 1
         stats.misses -= 1

@@ -27,6 +27,7 @@ library does).
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -171,6 +172,17 @@ class SimulationEngine:
         least one digest tier to store sub-entries in.
     reuse_traces:
         Enable the request-level trace/report memo.
+    overlap:
+        Pipeline trace building with backend cost-model evaluation: while
+        request ``k``'s backends run on the main thread, request ``k+1``'s
+        trace builds in a single side thread — the host analogue of
+        PointAcc running its mapping units concurrently with the matmul
+        array.  Builds stay strictly sequential relative to each other
+        (one builder thread), so every cache/memo sees the exact access
+        order of the non-overlapped engine and results stay bit-identical
+        (``tests/properties/test_prop_workers.py``); only the backend
+        evaluation of the *previous* request runs concurrently, and
+        backends never touch the mapping caches.
     """
 
     def __init__(
@@ -181,6 +193,7 @@ class SimulationEngine:
         l2=None,
         tile_cache=None,
         reuse_traces: bool = True,
+        overlap: bool = False,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {sorted(POLICIES)}")
@@ -204,6 +217,8 @@ class SimulationEngine:
         else:
             self._lookup = tiers[0] if tiers else None
         self.reuse_traces = reuse_traces
+        self.overlap = bool(overlap)
+        self._trace_builder: ThreadPoolExecutor | None = None
         self._traces: dict[tuple, Trace] = {}
         self._reports: dict[tuple, PerfReport] = {}
         self._stats = EngineStats(
@@ -246,9 +261,11 @@ class SimulationEngine:
             self._traces[key] = trace
         return trace, False, hits, misses
 
-    def _execute(self, request: SimRequest, index: int) -> SimResult:
+    def _execute(self, request: SimRequest, index: int, built=None) -> SimResult:
         t0 = time.perf_counter()
-        trace, reused, hits, misses = self._build_trace(request)
+        trace, reused, hits, misses = (
+            built if built is not None else self._build_trace(request)
+        )
         result = SimResult(
             request=request,
             index=index,
@@ -278,6 +295,36 @@ class SimulationEngine:
         self._stats.wall_seconds += result.wall_seconds
         return result
 
+    def _run_ordered(self, requests, order, base: int):
+        """Execute ``requests[i] for i in order``, yielding ``(i, result)``.
+
+        With ``overlap`` enabled (and more than one request), request
+        ``k+1``'s trace builds in the side thread while request ``k``'s
+        backend cost models evaluate on this one.  The builder is a
+        single thread and the next build is only submitted once the
+        previous build has completed, so trace builds — the only phase
+        that touches the mapping caches and the trace memo — run in
+        exactly the sequential order and the pipeline can never change a
+        result, only wall clock.
+        """
+        order = list(order)
+        if not self.overlap or len(order) < 2:
+            for i in order:
+                yield i, self._execute(requests[i], base + i)
+            return
+        if self._trace_builder is None:
+            self._trace_builder = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="trace-build"
+            )
+        pending = self._trace_builder.submit(self._build_trace, requests[order[0]])
+        for pos, i in enumerate(order):
+            built = pending.result()
+            if pos + 1 < len(order):
+                pending = self._trace_builder.submit(
+                    self._build_trace, requests[order[pos + 1]]
+                )
+            yield i, self._execute(requests[i], base + i, built=built)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -290,8 +337,9 @@ class SimulationEngine:
         """
         requests = list(requests)
         results: list[SimResult | None] = [None] * len(requests)
-        for i in schedule(requests, self.policy):
-            results[i] = self._execute(requests[i], self._served + i)
+        order = schedule(requests, self.policy)
+        for i, result in self._run_ordered(requests, order, self._served):
+            results[i] = result
         self._served += len(requests)
         return results  # type: ignore[return-value]
 
@@ -315,8 +363,9 @@ class SimulationEngine:
             if not chunk:
                 return
             base = self._served
-            for i in schedule(chunk, self.policy):
-                yield self._execute(chunk[i], base + i)
+            order = schedule(chunk, self.policy)
+            for _, result in self._run_ordered(chunk, order, base):
+                yield result
             self._served += len(chunk)
 
     def stats(self) -> EngineStats:

@@ -145,6 +145,17 @@ class FleetSession:
         :class:`~repro.cluster.EngineCluster`).  A single-shard fleet
         already shares everything through that shard's L1, so ``None``
         trades the write-through L2 for less per-tile bookkeeping.
+    workers:
+        Worker processes for the session-built cluster
+        (:class:`~repro.cluster.EngineCluster` ``workers=``): ``0``
+        (default) keeps in-process execution; ``N >= 1`` runs shards in
+        real OS processes so streams simulate concurrently.  Each worker
+        gets its own copy of the tile front — cross-stream tile hits then
+        happen inside each worker (and via the disk L2 with a
+        ``cache_dir``), and the merged attribution surfaces through
+        ``summary()`` instead of the parent-side front.  Requires a
+        session-built cluster (``n_shards >= 1``, no injected executor).
+        Per-stream results stay bit-identical to ``workers=0``.
     """
 
     def __init__(
@@ -169,6 +180,7 @@ class FleetSession:
         geometry_only: bool | str = "auto",
         cache_dir=None,
         l2="auto",
+        workers: int = 0,
     ) -> None:
         self.streams = list(streams)
         if not self.streams:
@@ -182,6 +194,15 @@ class FleetSession:
             raise ValueError("pass at most one of engine= and cluster=")
         if n_shards < 0:
             raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if workers > 0 and (engine is not None or cluster is not None
+                            or n_shards == 0):
+            raise ValueError(
+                "workers requires a session-built cluster (n_shards >= 1, "
+                "no injected executor) — pass EngineCluster(workers=N) "
+                "yourself otherwise"
+            )
         self._geometry_only = {
             spec.name: (
                 get_benchmark(spec.benchmark).family == "sparseconv"
@@ -226,6 +247,7 @@ class FleetSession:
                     l2=l2,
                     tile_cache=front,
                     map_cache=streaming_map_cache,
+                    workers=workers,
                 )
             else:
                 self.executor = SimulationEngine(
@@ -345,11 +367,35 @@ class FleetSession:
             }
             for spec in self.streams
         }
-        store = self.world_store
-        if store is not None:
-            out["world_tiles"] = store.stats().snapshot()
-            out["tiles"] = store.inner.stats().snapshot()
-        elif self.tile_cache is not None:
-            out["tiles"] = self.tile_cache.stats().snapshot()
-        out["executor"] = self.executor.stats().summary()
+        executor = self.executor.stats().summary()
+        if executor.get("workers"):
+            # Worker mode: each process holds its own copy of the front,
+            # so the parent-side objects never see a hit — the merged
+            # per-worker snapshots (collected over the pipes) are the
+            # fleet-level attribution.
+            if self.world_store is not None:
+                out["world_tiles"] = executor.get("front", {})
+                out["tiles"] = executor.get("front_inner", {})
+            elif self.tile_cache is not None:
+                out["tiles"] = executor.get("front", {})
+        else:
+            store = self.world_store
+            if store is not None:
+                out["world_tiles"] = store.stats().snapshot()
+                out["tiles"] = store.inner.stats().snapshot()
+            elif self.tile_cache is not None:
+                out["tiles"] = self.tile_cache.stats().snapshot()
+        out["executor"] = executor
         return out
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, when any)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "FleetSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

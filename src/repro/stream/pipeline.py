@@ -279,8 +279,26 @@ class StreamSession:
         out["benchmark"] = self.benchmark
         out["sequence"] = self.sequence.token
         out["geometry_only"] = self.geometry_only
-        if self.tile_cache is not None:
+        executor_stats = self.executor.stats().summary()
+        if executor_stats.get("workers"):
+            # Worker-mode cluster: each process holds its own copy of the
+            # tile front, so the parent-side object never sees a hit; the
+            # merged per-worker snapshot is the session-level truth.
+            if executor_stats.get("front"):
+                out["tiles"] = executor_stats["front"]
+        elif self.tile_cache is not None:
             out["tiles"] = self.tile_cache.stats().snapshot()
-        executor_stats = self.executor.stats()
-        out["executor"] = executor_stats.summary()
+        out["executor"] = executor_stats
         return out
+
+    def close(self) -> None:
+        """Release executor resources (cluster worker processes, when any)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

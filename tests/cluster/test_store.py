@@ -267,3 +267,107 @@ class TestDiskBudget:
     def test_validation(self):
         with pytest.raises(ValueError):
             SharedMapStore(max_disk_bytes=0)
+
+    def test_overwrite_does_not_inflate_estimate(self, tmp_path):
+        """Regression: every put added the full file size to the running
+        estimate, double-counting overwrites (os.replace reuses the file)
+        — repeated puts of one key drifted the estimate upward until it
+        crossed the budget and triggered a spurious O(files) rescan."""
+        cache_dir = tmp_path / "spill"
+        store = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        key = bytes(16)
+        store.put(key, np.arange(256), "op")
+        first = store._disk_bytes_estimate
+        assert first == self._disk_bytes(cache_dir)
+        for _ in range(20):
+            store.put(key, np.arange(256), "op")
+        assert store._disk_bytes_estimate == first  # flat, not 21x
+        assert store.stats().extra["disk_evictions"] == 0
+
+    def test_overwrite_with_smaller_value_shrinks_estimate(self, tmp_path):
+        cache_dir = tmp_path / "spill"
+        store = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        key = bytes(16)
+        store.put(key, np.arange(4096), "op")
+        store.put(key, np.arange(8), "op")
+        assert store._disk_bytes_estimate == self._disk_bytes(cache_dir)
+
+
+class TestSharedDirectory:
+    """Several stores (processes) on one cache_dir: races and debris."""
+
+    def _key(self, i):
+        return bytes([i]) + bytes(15)
+
+    def test_stale_tmp_from_dead_writer_swept_on_init(self, tmp_path):
+        """Regression: a process killed between open() and os.replace()
+        leaves `<digest>.map.tmp<pid>` debris that the *.map-filtered
+        budget scan never sees — it accumulated unboundedly."""
+        import subprocess
+        import sys
+
+        cache_dir = tmp_path / "spill"
+        seed = SharedMapStore(cache_dir=cache_dir)
+        seed.put(self._key(0), np.arange(8), "op")
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # a guaranteed-dead pid
+        dead = cache_dir / (self._key(1).hex() + f".map.tmp{proc.pid}")
+        dead.write_bytes(b"partial pickle debr")
+        ours = cache_dir / (self._key(2).hex() + f".map.tmp{os.getpid()}")
+        ours.write_bytes(b"in-flight write of a live process")
+        SharedMapStore(cache_dir=cache_dir)  # init sweeps
+        assert not dead.is_file()
+        assert ours.is_file()  # live writers (us included) are never touched
+        ours.unlink()
+
+    def test_stale_tmp_swept_during_budget_rescan(self, tmp_path):
+        import subprocess
+        import sys
+
+        cache_dir = tmp_path / "spill"
+        cache_dir.mkdir()
+        store = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=4096)
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        dead = cache_dir / (self._key(9).hex() + f".map.tmp{proc.pid}")
+        dead.write_bytes(b"debris")
+        # Overflow the budget so _enforce_disk_budget rescans.
+        for i in range(10):
+            store.put(self._key(i), np.arange(512), "op")
+        assert not dead.is_file()
+
+    def test_evicted_by_other_store_is_plain_miss(self, tmp_path):
+        """Two stores, one directory: B re-probing an entry that A's
+        budget enforcement unlinked must count a miss — never an error,
+        never a raise."""
+        cache_dir = tmp_path / "spill"
+        a = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        a.put(self._key(0), np.arange(64), "op")
+        b = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        assert b.get(self._key(0), "op") is not None  # disk hit, promoted
+        # A evicts it (simulate the budget unlink; same syscall path).
+        os.unlink(a._path(self._key(0)))
+        fresh = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        assert fresh.get(self._key(0), "op") is None
+        stats = fresh.stats()
+        assert stats.misses == 1
+        assert fresh.disk_errors == 0  # a vanished file is not corruption
+        # B still serves its promoted in-memory copy.
+        assert np.array_equal(b.get(self._key(0), "op"), np.arange(64))
+
+    def test_utime_refresh_tolerates_concurrent_unlink(self, tmp_path, monkeypatch):
+        """The disk-hit mtime refresh racing another worker's eviction:
+        the value was already read, so the lookup stays a hit."""
+        cache_dir = tmp_path / "spill"
+        seed = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+        seed.put(self._key(3), np.arange(16), "op")
+        reader = SharedMapStore(cache_dir=cache_dir, max_disk_bytes=1 << 20)
+
+        def vanished(path, *args, **kwargs):
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(os, "utime", vanished)
+        value = reader.get(self._key(3), "op")
+        assert np.array_equal(value, np.arange(16))
+        assert reader.stats().hits == 1 and reader.disk_hits == 1
+        assert reader.disk_errors == 0
