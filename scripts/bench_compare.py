@@ -1,38 +1,70 @@
 #!/usr/bin/env python
-"""Diff two ``bench-* --json`` payloads; fail on a throughput regression.
+"""Diff ``bench-* --json`` payloads; fail on a throughput regression.
 
 Usage::
 
+    # classic two-file diff (exit 1 on regression)
     python scripts/bench_compare.py BASELINE.json CANDIDATE.json \
         [--threshold 0.10] [--metric speedup]
 
-Both files must be payloads written by ``python -m repro bench-* --json``
-(schema-version checked, commands must match).  The default metric is
-``speedup`` — the warm-over-cold throughput ratio each bench command
-reports — because it is a *ratio* measured within one process, so it
-travels across machines far better than raw wall-clock.  The exit code is
-the contract CI keys on:
+    # CI gate against a previous run's artifact that may not exist yet
+    python scripts/bench_compare.py --baseline prev/BENCH_stream.json \
+        BENCH_stream.json
 
-* ``0`` — candidate within ``threshold`` of the baseline (or better);
+    # append a compact per-PR summary to the checked-in trajectory
+    python scripts/bench_compare.py --record BENCH_*.json \
+        [--trajectory benchmarks/TRAJECTORY.json] [--label pr7]
+
+All payload files must be written by ``python -m repro bench-* --json``
+(schema-version checked; compared payloads' commands must match).  The
+default metric is ``speedup`` — the warm-over-cold throughput ratio each
+bench command reports — because it is a *ratio* measured within one
+process, so it travels across machines far better than raw wall-clock.
+The exit code is the contract CI keys on:
+
+* ``0`` — candidate within ``threshold`` of the baseline (or better),
+  a ``--record`` append, or a skipped comparison (``--baseline`` file
+  absent: the first run after the gate lands has nothing to compare to);
 * ``1`` — candidate regressed by more than ``threshold``;
 * ``2`` — unreadable/mismatched payloads (wrong schema, different
   commands, missing metric).
 
-Intended wiring: archive ``BENCH_*.json`` per commit (CI already uploads
-them), then compare the current payload against the previous commit's
-artifact — or run the same bench twice in one job as a run-to-run
-stability gate.
+Intended wiring: CI archives ``BENCH_*.json`` per run, downloads the
+previous run's artifact (tolerating absence) and gates with
+``--baseline``; release engineering appends one ``--record`` line per PR
+so ``benchmarks/TRAJECTORY.json`` accumulates the perf history in-repo.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 
 #: Payload schema versions this script understands (see
 #: ``repro.cli.BENCH_JSON_SCHEMA``).
 KNOWN_SCHEMAS = (1,)
+
+#: Trajectory file format version.
+TRAJECTORY_SCHEMA = 1
+
+#: Numeric payload keys worth keeping in a trajectory entry, when present.
+#: Everything else (configs, nested cache stats) stays in the CI artifact.
+TRAJECTORY_KEYS = (
+    "speedup",
+    "mismatches",
+    "cold_seconds",
+    "warm_seconds",
+    "engine_seconds",
+    "solo_seconds",
+    "fleet_seconds",
+    "worker_scaling",
+    "worker_speedup",
+    "latency_p50_ms",
+    "latency_p99_ms",
+)
 
 
 class CompareError(Exception):
@@ -84,24 +116,113 @@ def compare(baseline: dict, candidate: dict, metric: str,
     return regressed, message
 
 
+def trajectory_entry(payload: dict, label: str | None) -> dict:
+    """A compact, diff-reviewable summary of one bench payload."""
+    entry = {
+        "command": payload.get("command"),
+        "label": label,
+        "date": time.strftime("%Y-%m-%d"),
+    }
+    for key in TRAJECTORY_KEYS:
+        value = payload.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            entry[key] = value
+    return entry
+
+
+def record(paths: list[str], trajectory_path: str,
+           label: str | None) -> int:
+    """Append one entry per payload to the trajectory file."""
+    if not paths:
+        print("error: --record needs at least one payload file",
+              file=sys.stderr)
+        return 2
+    try:
+        entries = [trajectory_entry(load_payload(p), label) for p in paths]
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trajectory = {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    if os.path.exists(trajectory_path):
+        try:
+            with open(trajectory_path, "r", encoding="utf-8") as fh:
+                trajectory = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {trajectory_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if trajectory.get("schema") != TRAJECTORY_SCHEMA:
+            print(f"error: {trajectory_path} has unknown schema "
+                  f"{trajectory.get('schema')!r}", file=sys.stderr)
+            return 2
+    trajectory.setdefault("entries", []).extend(entries)
+    try:
+        with open(trajectory_path, "w", encoding="utf-8") as fh:
+            json.dump(trajectory, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write {trajectory_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    for entry in entries:
+        speedup = entry.get("speedup")
+        rendered = f"{speedup:.2f}x" if speedup is not None else "-"
+        print(f"recorded {entry['command']} speedup {rendered} "
+              f"-> {trajectory_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("baseline", help="reference BENCH_*.json payload")
-    parser.add_argument("candidate", help="payload under test")
+    parser.add_argument("files", nargs="*", metavar="PAYLOAD",
+                        help="BENCH_*.json payload(s): [BASELINE] CANDIDATE "
+                             "to diff, or the files to --record")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed fractional drop (default 0.10 = 10%%)")
     parser.add_argument("--metric", default="speedup",
                         help="payload key to compare (default: speedup)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline payload path; when the file does not "
+                             "exist the comparison is skipped with exit 0 "
+                             "(a previous CI artifact may not exist yet)")
+    parser.add_argument("--record", action="store_true",
+                        help="append the payload(s) to the trajectory file "
+                             "instead of comparing")
+    parser.add_argument("--trajectory", default="benchmarks/TRAJECTORY.json",
+                        metavar="PATH",
+                        help="trajectory file for --record")
+    parser.add_argument("--label", default=None,
+                        help="entry label for --record (e.g. a PR number)")
     args = parser.parse_args(argv)
+
+    if args.record:
+        return record(args.files, args.trajectory, args.label)
+
     if not 0 <= args.threshold < 1:
         print("error: --threshold must be in [0, 1)", file=sys.stderr)
         return 2
+    if args.baseline is not None:
+        if len(args.files) != 1:
+            print("error: --baseline takes exactly one candidate payload",
+                  file=sys.stderr)
+            return 2
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline} — nothing to compare "
+                  f"against yet, skipping (ok)")
+            return 0
+        baseline_path, candidate_path = args.baseline, args.files[0]
+    elif len(args.files) == 2:
+        baseline_path, candidate_path = args.files
+    else:
+        print("error: expected BASELINE CANDIDATE (or --baseline PATH "
+              "CANDIDATE, or --record PAYLOAD...)", file=sys.stderr)
+        return 2
     try:
-        baseline = load_payload(args.baseline)
-        candidate = load_payload(args.candidate)
+        baseline = load_payload(baseline_path)
+        candidate = load_payload(candidate_path)
         regressed, message = compare(
             baseline, candidate, args.metric, args.threshold
         )

@@ -20,20 +20,30 @@ Commands:
 * ``serve-fleet``  — serve several concurrent tenant streams over one
                      cluster with cross-stream world-tile sharing;
 * ``bench-fleet``  — shared fleet vs the same streams with per-stream-only
-                     caching.
+                     caching;
+* ``trace-report`` — per-phase time breakdown + top-N slow frames from a
+                     ``--trace`` JSONL file.
 
 The ``bench-*`` commands accept ``--json PATH`` to additionally write the
 measured numbers as machine-readable JSON (CI archives these as
 ``BENCH_*.json`` perf trajectories).  Every payload carries a ``schema``
 version field so downstream consumers can detect format drift.
+
+Every serve/bench command also accepts ``--trace PATH`` (dump the run's
+span trees as JSONL, plus a ``*.flight.jsonl`` sidecar holding the flight
+recorder's retained slowest / deadline-missed frames) and ``--metrics
+PATH`` (a :class:`repro.obs.MetricsRegistry` snapshot with per-phase
+latency histograms and counters derived from the same spans).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from contextlib import contextmanager
 
 from .baselines.mesorasi import UnsupportedModelError
 from .cluster import (
@@ -57,6 +67,8 @@ from .experiments import ALL_EXPERIMENTS
 from .experiments.common import format_table
 from .fleet import FleetSession, StreamSpec
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
+from .obs import FlightRecorder, MetricsRegistry, Tracer, render_report
+from .obs.trace import use_tracer
 from .stream import FrameSequence, SequenceConfig, StreamSession
 
 __all__ = ["main"]
@@ -259,6 +271,75 @@ def _write_json(path: str, payload: dict) -> None:
     except OSError as exc:
         raise CLIError(f"cannot write --json file {path}: {exc}") from exc
     print(f"wrote {path}")
+
+
+def _flight_path(trace_path: str) -> str:
+    """The flight-recorder sidecar next to a ``--trace`` file."""
+    stem, ext = os.path.splitext(trace_path)
+    return f"{stem}.flight{ext or '.jsonl'}"
+
+
+def _span_metrics(registry: MetricsRegistry, roots) -> None:
+    """Fold finished span trees into the registry: one latency histogram
+    and call counter per span name, plus every per-span counter summed."""
+    for root in roots:
+        for node in root.walk():
+            registry.counter(f"spans.{node.name}")
+            registry.observe(f"span_ms.{node.name}", node.duration * 1e3)
+            for key, value in node.counters.items():
+                registry.counter(f"{node.name}.{key}", value)
+
+
+@contextmanager
+def _observability(args):
+    """Install a tracer (+ flight recorder) around a serve/bench handler
+    when ``--trace``/``--metrics`` ask for one, and write the files after
+    the handler returns — also on failure, so a partial run still leaves
+    its spans behind for post-mortem."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        yield
+        return
+    tracer = Tracer(recorder=FlightRecorder())
+    try:
+        with use_tracer(tracer):
+            yield
+    finally:
+        try:
+            if trace_path:
+                n = tracer.dump_jsonl(trace_path)
+                print(f"wrote {trace_path} "
+                      f"({n} spans in {len(tracer.roots)} roots)")
+                records = tracer.recorder.records()
+                if records:
+                    flight = _flight_path(trace_path)
+                    tracer.recorder.dump_jsonl(flight)
+                    print(f"wrote {flight} "
+                          f"({len(records)} flight-recorder records)")
+            if metrics_path:
+                registry = MetricsRegistry()
+                registry.gauge("trace.roots", float(len(tracer.roots)))
+                _span_metrics(registry, tracer.roots)
+                with open(metrics_path, "w", encoding="utf-8") as fh:
+                    json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote {metrics_path}")
+        except OSError as exc:
+            raise CLIError(f"cannot write observability file: {exc}") from exc
+
+
+def cmd_trace_report(args) -> int:
+    """Per-phase time breakdown + top-N slow frames from a trace file."""
+    path = args.trace_file
+    try:
+        report = render_report(path, top=args.top)
+    except OSError as exc:
+        raise CLIError(f"cannot read trace file {path}: {exc}") from exc
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise CLIError(f"malformed trace file {path}: {exc}") from exc
+    print(report, end="")
+    return 0
 
 
 def cmd_serve_sim(args) -> int:
@@ -976,10 +1057,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--window", type=int, default=8,
                        help="streaming scheduling window")
 
+    def add_obs_args(p):
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write the run's span trees as JSONL (plus a "
+                            "*.flight.jsonl sidecar with the slowest / "
+                            "deadline-missed frames)")
+        p.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a metrics snapshot (per-phase latency "
+                            "histograms and counters) as JSON")
+
     srv_p = sub.add_parser(
         "serve-sim", help="stream a workload through the engine"
     )
     add_workload_args(srv_p)
+    add_obs_args(srv_p)
 
     def add_json_arg(p):
         p.add_argument("--json", default=None, metavar="PATH",
@@ -988,6 +1079,7 @@ def build_parser() -> argparse.ArgumentParser:
     be_p = sub.add_parser(
         "bench-engine", help="engine (cached) vs cold sequential throughput"
     )
+    add_obs_args(be_p)
     be_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
     be_p.add_argument("--repeats", type=int, default=3,
                       help="times each (benchmark, seed) cloud repeats")
@@ -1001,6 +1093,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a workload through the sharded cluster (tiered cache, QoS)",
     )
     add_workload_args(sc_p)
+    add_obs_args(sc_p)
     sc_p.add_argument("--shards", type=int, default=4)
     sc_p.add_argument("--routing", choices=ROUTING_MODES, default="affinity")
     sc_p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -1019,6 +1112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-cluster",
         help="warm cluster vs cold single engine throughput",
     )
+    add_obs_args(bc_p)
     bc_p.add_argument("--benchmarks", default="PointNet++(c),DGCNN")
     bc_p.add_argument("--repeats", type=int, default=3,
                       help="times each (benchmark, seed) cloud repeats")
@@ -1074,12 +1168,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a LiDAR frame sequence with tile-granular map reuse",
     )
     add_stream_args(ss_p)
+    add_obs_args(ss_p)
 
     bs_p = sub.add_parser(
         "bench-stream",
         help="warm streaming vs cold per-frame simulation",
     )
     add_stream_args(bs_p)
+    add_obs_args(bs_p)
     add_json_arg(bs_p)
 
     def add_fleet_args(p):
@@ -1127,13 +1223,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve concurrent tenant streams with cross-stream tile sharing",
     )
     add_fleet_args(sf_p)
+    add_obs_args(sf_p)
 
     bf_p = sub.add_parser(
         "bench-fleet",
         help="shared fleet vs per-stream-only caching throughput",
     )
     add_fleet_args(bf_p)
+    add_obs_args(bf_p)
     add_json_arg(bf_p)
+
+    tr_p = sub.add_parser(
+        "trace-report",
+        help="per-phase time breakdown from a --trace JSONL file",
+    )
+    tr_p.add_argument("trace_file", metavar="PATH",
+                      help="JSONL written by --trace (span trees) or a "
+                           "*.flight.jsonl flight-recorder dump")
+    tr_p.add_argument("--top", type=int, default=5,
+                      help="slow frames to detail")
 
     return parser
 
@@ -1154,9 +1262,11 @@ def main(argv: list[str] | None = None) -> int:
         "bench-stream": cmd_bench_stream,
         "serve-fleet": cmd_serve_fleet,
         "bench-fleet": cmd_bench_fleet,
+        "trace-report": cmd_trace_report,
     }
     try:
-        return handlers[args.command](args)
+        with _observability(args):
+            return handlers[args.command](args)
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

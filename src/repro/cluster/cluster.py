@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..engine.engine import SimRequest, SimResult, SimulationEngine
 from ..engine.map_cache import MapCache
+from ..obs.trace import Span, current_tracer, span
 from .qos import QoSScheduler
 from .router import ShardRouter
 from .store import SharedMapStore
@@ -263,25 +264,66 @@ class EngineCluster:
                 runs[-1][1].append(i)
             else:
                 runs.append((shard, [i]))
+        tracer = current_tracer()
         if self._pool is not None:
             # Worker mode: every run is dispatched up front (each worker
             # drains its pipe FIFO, so same-shard QoS order is preserved
             # while different workers execute concurrently); deadlines are
             # scored when a run's reply arrives, against real elapsed time.
-            for run_id, results in self._pool.run_window(runs, requests):
+            trace_on = tracer is not None
+            t_send = time.perf_counter()
+            for run_id, results in self._pool.run_window(
+                runs, requests, trace=trace_on
+            ):
                 shard, idxs = runs[run_id]
+                if trace_on:
+                    self._attach_worker_spans(
+                        tracer, results, shard, t_send,
+                        time.perf_counter() - t_send,
+                    )
                 self._score_run(requests, idxs, results, shard, base,
                                 time.perf_counter() - t0, completed)
         else:
             for shard, idxs in runs:
-                results = self.shards[shard].run_batch(
-                    [requests[i] for i in idxs]
-                )
+                with span("dispatch", shard=shard, workers=False):
+                    results = self.shards[shard].run_batch(
+                        [requests[i] for i in idxs]
+                    )
                 self._score_run(requests, idxs, results, shard, base,
                                 time.perf_counter() - t0, completed)
         self._served += len(requests)
         self._wall += time.perf_counter() - t0
         return completed
+
+    @staticmethod
+    def _attach_worker_spans(tracer, results, shard: int,
+                             t_send: float, elapsed: float) -> None:
+        """Re-parent one worker run's pickled spans under a dispatch span.
+
+        The dispatch span covers send-to-receipt for the run; whatever
+        the worker did not account for — pickling requests, the pipe both
+        ways, unpickling results, queueing behind earlier runs on the
+        same worker — lands in an explicit ``ipc`` child, so
+        cross-process overhead is attributed rather than vanishing into
+        the gap between frame and request spans.
+        """
+        dispatch = Span("dispatch", {"shard": shard, "workers": True})
+        dispatch.start = t_send
+        dispatch.duration = elapsed
+        remote_seconds = 0.0
+        n_spans = 0
+        for result in results:
+            for node in result.spans:
+                remote_seconds += node.duration
+                n_spans += 1
+                dispatch.children.append(node)
+            result.spans = []  # now owned by the dispatch tree
+        ipc = Span("ipc", {"shard": shard})
+        ipc.start = t_send
+        ipc.duration = max(0.0, elapsed - remote_seconds)
+        ipc.count("results", float(len(results)))
+        dispatch.children.append(ipc)
+        tracer.attach(dispatch)
 
     def _score_run(self, requests, idxs, results, shard: int, base: int,
                    elapsed: float, completed: list) -> None:

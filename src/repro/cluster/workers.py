@@ -54,6 +54,8 @@ import pickle
 import traceback
 from multiprocessing.connection import wait as _wait
 
+from ..obs.metrics import merge_snapshots as _merge_snapshots
+
 __all__ = ["WorkerPool", "engine_spec", "merge_snapshots"]
 
 
@@ -99,7 +101,13 @@ def _worker_main(conn, worker_id: int, shard_ids, spec: dict) -> None:
     """
     from ..engine.engine import SimulationEngine
     from ..engine.map_cache import MapCache
+    from ..obs.trace import Tracer, _set_tracer, use_tracer
     from .store import SharedMapStore
+
+    # A fork-start child inherits the parent's module globals, including
+    # any active tracer.  Recording into that ghost copy would waste time
+    # and ship spans back even when the parent didn't ask for them.
+    _set_tracer(None)
 
     l2 = None
     if spec["l2"] == "auto":
@@ -136,9 +144,18 @@ def _worker_main(conn, worker_id: int, shard_ids, spec: dict) -> None:
                 return  # parent went away; nothing to clean up but us
             command = message[0]
             if command == "run":
-                _, run_id, shard, requests = message
+                run_id, shard, requests = message[1], message[2], message[3]
+                # Element 5 (optional, protocol-compatible with pre-trace
+                # parents) asks the worker to trace this run: request
+                # spans become roots, so the engine attaches them to each
+                # SimResult and they ride the pickle home.
+                trace_on = len(message) > 4 and bool(message[4])
                 try:
-                    results = engines[shard].run_batch(requests)
+                    if trace_on:
+                        with use_tracer(Tracer()):
+                            results = engines[shard].run_batch(requests)
+                    else:
+                        results = engines[shard].run_batch(requests)
                     conn.send(("ok", run_id, results))
                 except Exception:
                     conn.send(("err", run_id, traceback.format_exc()))
@@ -172,53 +189,13 @@ def _worker_main(conn, worker_id: int, shard_ids, spec: dict) -> None:
 def merge_snapshots(snapshots) -> dict:
     """Merge per-worker stats snapshots into one cluster-level view.
 
-    Numeric leaves sum, nested dicts merge recursively, and non-numeric
-    leaves (``persistent`` flags, mode strings) keep the first worker's
-    value.  Ratio keys cannot be summed; every ``*rate`` leaf is
-    recomputed from the merged counters its stats class derives it from
-    (``hits``/``lookups``, ``tile_hits``/``tile_lookups``,
-    ``cross_hits``/``lookups``) and dropped when those are absent.
+    Now a thin alias for :func:`repro.obs.metrics.merge_snapshots` — the
+    algorithm moved into the unified telemetry layer so cluster, workers,
+    and :class:`~repro.obs.MetricsRegistry` all merge with one set of
+    rules (numeric leaves sum, dicts recurse, non-numerics keep-first,
+    ``*rate`` leaves recomputed from their merged counters).
     """
-    snapshots = [s for s in snapshots if s]
-    if not snapshots:
-        return {}
-
-    def merge_into(out: dict, src: dict) -> None:
-        for key, value in src.items():
-            if isinstance(value, dict):
-                merge_into(out.setdefault(key, {}), value)
-            elif isinstance(value, bool) or not isinstance(value, (int, float)):
-                out.setdefault(key, value)
-            elif key.endswith("rate"):
-                out[key] = None  # recomputed below
-            else:
-                out[key] = out.get(key, 0) + value
-
-    def fix_rates(node: dict) -> None:
-        for key, value in list(node.items()):
-            if isinstance(value, dict):
-                fix_rates(node[key])
-        lookups = node.get("lookups", 0)
-        if "hit_rate" in node:
-            node["hit_rate"] = node.get("hits", 0) / lookups if lookups else 0.0
-        if "cross_hit_rate" in node:
-            node["cross_hit_rate"] = (
-                node.get("cross_hits", 0) / lookups if lookups else 0.0
-            )
-        if "tile_hit_rate" in node:
-            tile_lookups = node.get("tile_lookups", 0)
-            node["tile_hit_rate"] = (
-                node.get("tile_hits", 0) / tile_lookups if tile_lookups else 0.0
-            )
-        for key, value in list(node.items()):
-            if value is None and key.endswith("rate"):
-                del node[key]  # no counters to recompute it from
-
-    merged: dict = {}
-    for snapshot in snapshots:
-        merge_into(merged, snapshot)
-    fix_rates(merged)
-    return merged
+    return _merge_snapshots(snapshots)
 
 
 class WorkerPool:
@@ -281,7 +258,7 @@ class WorkerPool:
     def _worker_for(self, shard: int) -> int:
         return shard % self.n_workers
 
-    def run_window(self, runs, requests):
+    def run_window(self, runs, requests, trace: bool = False):
         """Dispatch one window's same-shard runs; yield results as they
         complete.
 
@@ -291,13 +268,20 @@ class WorkerPool:
         concurrently — then ``(run_id, [SimResult, ...])`` pairs are
         yielded in completion order, which is what lets the caller score
         deadlines against real elapsed time.
+
+        With ``trace=True`` each worker records telemetry spans for the
+        run and ships them back on every ``SimResult.spans``; the caller
+        re-parents them under its own dispatch spans.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         pending: dict[int, int] = {}
         for run_id, (shard, idxs) in enumerate(runs):
             worker = self._worker_for(shard)
-            self._send(worker, ("run", run_id, shard, [requests[i] for i in idxs]))
+            payload = [requests[i] for i in idxs]
+            message = (("run", run_id, shard, payload, True) if trace
+                       else ("run", run_id, shard, payload))
+            self._send(worker, message)
             pending[run_id] = worker
         by_conn = {id(conn): i for i, conn in enumerate(self._conns)}
         while pending:

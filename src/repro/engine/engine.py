@@ -35,6 +35,7 @@ from ..baselines.mesorasi import UnsupportedModelError
 from ..core.report import PerfReport
 from ..mapping.hooks import TieredLookup, request_context, use_map_cache
 from ..nn.models.registry import run_benchmark
+from ..obs.trace import current_tracer, span
 from ..nn.trace import Trace
 from .backends import resolve_backend
 from .map_cache import MapCache
@@ -97,6 +98,11 @@ class SimResult:
     wall_seconds: float = 0.0
     shard: int | None = None  # set by EngineCluster: which shard executed
     deadline_met: bool | None = None  # set by the QoS layer when a deadline was given
+    # Root telemetry spans for this request (repro.obs).  Populated only
+    # when a tracer is active AND the request span has no enclosing span —
+    # i.e. in worker processes, where the spans must ride the pickle back
+    # so the dispatching side can re-parent them under its dispatch span.
+    spans: list = field(default_factory=list)
 
     def report(self, backend: str | None = None) -> PerfReport:
         """The report of ``backend``.
@@ -261,36 +267,75 @@ class SimulationEngine:
             self._traces[key] = trace
         return trace, False, hits, misses
 
+    def _build_traced(self, request: SimRequest):
+        """``_build_trace`` plus a detached span for the overlap pipeline.
+
+        Runs on the side thread, where a plain ``span()`` would start a
+        new root; instead the span is detached and handed back in the
+        tuple so ``_execute`` can attach it under the request span it
+        belongs to.  Returns ``(trace, reused, hits, misses, span|None)``.
+        """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._build_trace(request) + (None,)
+        with tracer.detached("trace_build", overlap=True) as bs:
+            trace, reused, hits, misses = self._build_trace(request)
+            if hits or misses:
+                bs.count("cache_hits", hits)
+                bs.count("cache_misses", misses)
+        return trace, reused, hits, misses, bs
+
     def _execute(self, request: SimRequest, index: int, built=None) -> SimResult:
         t0 = time.perf_counter()
-        trace, reused, hits, misses = (
-            built if built is not None else self._build_trace(request)
-        )
-        result = SimResult(
-            request=request,
-            index=index,
-            trace=trace,
-            trace_reused=reused,
-            map_cache_hits=hits,
-            map_cache_misses=misses,
-        )
-        key = request.workload_key
-        for name, backend in self.backends.items():
-            rkey = (key, name)
-            report = self._reports.get(rkey) if self.reuse_traces else None
-            if report is not None:
-                self._stats.report_reuses += 1
+        tracer = current_tracer()
+        with span("request", benchmark=request.benchmark, index=index) as req_span:
+            build_span = None
+            if built is not None and len(built) == 5:
+                trace, reused, hits, misses, build_span = built
+            elif built is not None:
+                trace, reused, hits, misses = built
             else:
-                try:
-                    report = backend.run(trace)
-                except UnsupportedModelError as exc:
-                    result.errors[name] = str(exc)
-                    continue
-                if self.reuse_traces:
-                    self._reports[rkey] = report
-            result.reports[name] = report
-            self._stats.backend_seconds[name] += report.total_seconds
-        result.wall_seconds = time.perf_counter() - t0
+                with span("trace_build") as bs:
+                    trace, reused, hits, misses = self._build_trace(request)
+                    if hits or misses:
+                        bs.count("cache_hits", hits)
+                        bs.count("cache_misses", misses)
+            if build_span is not None:
+                # Overlap mode: the build ran detached on the side thread;
+                # attribute it to this request explicitly.
+                req_span.children.insert(0, build_span)
+            result = SimResult(
+                request=request,
+                index=index,
+                trace=trace,
+                trace_reused=reused,
+                map_cache_hits=hits,
+                map_cache_misses=misses,
+            )
+            key = request.workload_key
+            for name, backend in self.backends.items():
+                rkey = (key, name)
+                report = self._reports.get(rkey) if self.reuse_traces else None
+                if report is not None:
+                    self._stats.report_reuses += 1
+                else:
+                    with span("backend", backend=name):
+                        try:
+                            report = backend.run(trace)
+                        except UnsupportedModelError as exc:
+                            result.errors[name] = str(exc)
+                            continue
+                    if self.reuse_traces:
+                        self._reports[rkey] = report
+                result.reports[name] = report
+                self._stats.backend_seconds[name] += report.total_seconds
+            result.wall_seconds = time.perf_counter() - t0
+        if tracer is not None and tracer.current() is None:
+            # Parentless request span: this is a worker process (or a bare
+            # engine run) — hand the tree to the result so callers across
+            # the pipe can re-parent it.  When an enclosing span exists
+            # (cluster dispatch, stream frame) the tree is already nested.
+            result.spans = [req_span]
         self._stats.requests += 1
         self._stats.wall_seconds += result.wall_seconds
         return result
@@ -316,12 +361,12 @@ class SimulationEngine:
             self._trace_builder = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="trace-build"
             )
-        pending = self._trace_builder.submit(self._build_trace, requests[order[0]])
+        pending = self._trace_builder.submit(self._build_traced, requests[order[0]])
         for pos, i in enumerate(order):
             built = pending.result()
             if pos + 1 < len(order):
                 pending = self._trace_builder.submit(
-                    self._build_trace, requests[order[pos + 1]]
+                    self._build_traced, requests[order[pos + 1]]
                 )
             yield i, self._execute(requests[i], base + i, built=built)
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from ..engine.engine import SimRequest, SimulationEngine
 from ..nn.models.registry import get_benchmark
+from ..obs.trace import current_tracer, span
 from ..stream.incremental import TileMapCache
 from ..stream.pipeline import FrameResult, streaming_map_cache
 from ..stream.sequence import FrameSequence
@@ -305,10 +306,20 @@ class FleetSession:
                 self.request(spec, self._next_frame[spec.name])
                 for spec in window
             ]
+            tracer = current_tracer()
             t0 = time.perf_counter()
-            results = self.executor.run_batch(requests)
-            self._stats.wall_seconds += time.perf_counter() - t0
+            with span("round", round=self._stats.rounds,
+                      streams=len(window)) as round_span:
+                results = self.executor.run_batch(requests)
+            round_wall = time.perf_counter() - t0
+            self._stats.wall_seconds += round_wall
             self._stats.rounds += 1
+            if tracer is not None and tracer.recorder is not None:
+                missed = any(r.deadline_met is False for r in results)
+                tracer.recorder.record(
+                    round_span, round_wall, deadline_missed=missed,
+                    frame=f"round{self._stats.rounds - 1}",
+                )
             round_out = []
             for spec, result in zip(window, results):
                 index = self._next_frame[spec.name]

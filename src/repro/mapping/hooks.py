@@ -55,6 +55,8 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from ..obs.trace import span as _span
+
 __all__ = [
     "TieredLookup",
     "TieredStats",
@@ -189,25 +191,35 @@ class TieredLookup:
         for depth, tier in enumerate(self.tiers):
             if not missing:
                 break
-            got = batch_get(tier, [keys[i] for i in missing], op, copy=copy)
-            still, hit_keys, hit_values = [], [], []
-            for i, value in zip(missing, got):
-                if value is None:
-                    still.append(i)
-                else:
-                    values[i] = value
-                    hit_keys.append(keys[i])
-                    hit_values.append(value)
-            if depth and hit_keys:
-                for upper in self.tiers[:depth]:
-                    batch_put(upper, hit_keys, hit_values, op, copy=copy)
+            # tier_io spans cover the *batched* chain walk only — one span
+            # per tier per batch, never one per key, so disabled-tracer
+            # overhead stays off the per-tile hot path.
+            with _span("tier_io", tier=type(tier).__name__, op=op,
+                       way="get") as sp:
+                got = batch_get(tier, [keys[i] for i in missing], op, copy=copy)
+                still, hit_keys, hit_values = [], [], []
+                for i, value in zip(missing, got):
+                    if value is None:
+                        still.append(i)
+                    else:
+                        values[i] = value
+                        hit_keys.append(keys[i])
+                        hit_values.append(value)
+                if depth and hit_keys:
+                    for upper in self.tiers[:depth]:
+                        batch_put(upper, hit_keys, hit_values, op, copy=copy)
+                sp.count("probes", float(len(got)))
+                sp.count("hits", float(len(hit_keys)))
             missing = still
         return values
 
     def put_many(self, keys, values, op: str = "?", copy: bool = True) -> None:
         """Batched :meth:`put`: write each pair through every tier."""
         for tier in self.tiers:
-            batch_put(tier, keys, values, op, copy=copy)
+            with _span("tier_io", tier=type(tier).__name__, op=op,
+                       way="put") as sp:
+                batch_put(tier, keys, values, op, copy=copy)
+                sp.count("puts", float(len(keys)))
 
     def memoize(self, op: str, arrays, params: dict, compute):
         if self.front is not None and self.front.handles(op, arrays, params):

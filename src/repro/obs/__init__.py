@@ -1,0 +1,25 @@
+"""Unified telemetry: tracer spans, metrics registry, flight recorder.
+
+See README's "Observability" section for the span taxonomy and usage.
+"""
+
+from .metrics import Histogram, MetricsRegistry, merge_snapshots
+from .recorder import FlightRecorder
+from .report import load_trace, phase_breakdown, render_report, slow_frames
+from .trace import Span, Tracer, current_tracer, span, use_tracer
+
+__all__ = [
+    "FlightRecorder",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "load_trace",
+    "merge_snapshots",
+    "phase_breakdown",
+    "render_report",
+    "slow_frames",
+    "span",
+    "use_tracer",
+]

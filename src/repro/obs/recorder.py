@@ -1,0 +1,66 @@
+"""Flight recorder: bounded retention of the span trees that matter.
+
+Serving runs produce one span tree per frame; keeping them all would be
+an unbounded memory leak on a long drive.  The recorder keeps exactly
+two bounded sets — the K slowest frames (a min-heap keyed on latency)
+and a ring buffer of the most recent deadline-missed frames — and dumps
+full trees as JSONL on demand, one JSON object per record::
+
+    {"kind": "slow"|"missed", "frame": ..., "latency_ms": ..., "span": {...}}
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from .trace import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    def __init__(self, k_slowest: int = 16, max_missed: int = 64) -> None:
+        self.k_slowest = max(0, int(k_slowest))
+        self._seq = 0
+        # min-heap of (latency_s, seq, record): root is the fastest of the
+        # retained set, evicted first when a slower frame arrives.
+        self._slow: List[tuple] = []
+        self._missed: deque = deque(maxlen=max(0, int(max_missed)))
+
+    def record(self, root: Span, latency_s: float,
+               deadline_missed: bool = False,
+               frame: Optional[Any] = None) -> None:
+        entry = {
+            "frame": frame,
+            "latency_ms": latency_s * 1e3,
+            "span": root,
+        }
+        self._seq += 1
+        if deadline_missed and self._missed.maxlen:
+            self._missed.append(dict(entry, kind="missed"))
+        if self.k_slowest:
+            item = (latency_s, self._seq, dict(entry, kind="slow"))
+            if len(self._slow) < self.k_slowest:
+                heapq.heappush(self._slow, item)
+            elif latency_s > self._slow[0][0]:
+                heapq.heapreplace(self._slow, item)
+
+    # -- export ----------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Retained records, slowest first, then missed in arrival order."""
+        slow = [rec for _, _, rec in sorted(self._slow, reverse=True)]
+        return slow + list(self._missed)
+
+    def dump_jsonl(self, path: str) -> int:
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.records():
+                out = dict(rec)
+                span = out.pop("span")
+                out["span"] = span.to_dict() if isinstance(span, Span) else span
+                fh.write(json.dumps(out, sort_keys=True, default=str) + "\n")
+                n += 1
+        return n

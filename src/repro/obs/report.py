@@ -1,0 +1,108 @@
+"""Trace-file analysis behind ``repro trace-report``.
+
+Reads the JSONL written by ``Tracer.dump_jsonl`` (one root span tree per
+line) or by ``FlightRecorder.dump_jsonl`` (records wrapping a ``span``),
+and renders a per-phase time breakdown plus the top-N slowest frames.
+
+Self time is what attribution needs: a ``frame`` span *contains* plan /
+probe / execute, so summing raw durations per name would double-count
+every nesting level.  Each span is charged ``duration - sum(children)``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["load_trace", "phase_breakdown", "render_report", "slow_frames"]
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Load root span dicts from a trace or flight-recorder JSONL file."""
+    roots: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "span" in obj and isinstance(obj["span"], dict):
+                span = obj["span"]  # flight-recorder record
+                span.setdefault("attrs", {}).setdefault(
+                    "recorded", obj.get("kind", "slow"))
+                roots.append(span)
+            else:
+                roots.append(obj)
+    return roots
+
+
+def walk(node: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    yield node
+    for child in node.get("children", ()):
+        yield from walk(child)
+
+
+def _self_ms(node: Dict[str, Any]) -> float:
+    children = node.get("children", ())
+    return max(0.0, node.get("dur_ms", 0.0) -
+               sum(c.get("dur_ms", 0.0) for c in children))
+
+
+def phase_breakdown(roots: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Aggregate per span name: calls, total wall, and self (exclusive) time."""
+    phases: Dict[str, Dict[str, float]] = {}
+    for root in roots:
+        for node in walk(root):
+            entry = phases.setdefault(
+                node.get("name", "?"),
+                {"calls": 0, "total_ms": 0.0, "self_ms": 0.0})
+            entry["calls"] += 1
+            entry["total_ms"] += node.get("dur_ms", 0.0)
+            entry["self_ms"] += _self_ms(node)
+    return phases
+
+
+def slow_frames(roots: List[Dict[str, Any]], top: int = 5) -> List[Dict[str, Any]]:
+    """The slowest frame-level spans (frame/round roots, else any root)."""
+    frames = [n for root in roots for n in walk(root)
+              if n.get("name") in ("frame", "round")]
+    if not frames:
+        frames = list(roots)
+    frames.sort(key=lambda n: n.get("dur_ms", 0.0), reverse=True)
+    return frames[:top]
+
+
+def render_report(path: str, top: int = 5) -> str:
+    roots = load_trace(path)
+    lines: List[str] = []
+    if not roots:
+        return f"trace {path}: empty\n"
+
+    phases = phase_breakdown(roots)
+    total_self = sum(p["self_ms"] for p in phases.values()) or 1.0
+    lines.append(f"trace {path}: {len(roots)} root span(s), "
+                 f"{sum(int(p['calls']) for p in phases.values())} spans")
+    lines.append("")
+    lines.append(f"{'phase':<18} {'calls':>7} {'total ms':>10} "
+                 f"{'self ms':>10} {'self %':>7}")
+    for name, p in sorted(phases.items(),
+                          key=lambda kv: kv[1]["self_ms"], reverse=True):
+        lines.append(f"{name:<18} {int(p['calls']):>7} {p['total_ms']:>10.2f} "
+                     f"{p['self_ms']:>10.2f} "
+                     f"{100.0 * p['self_ms'] / total_self:>6.1f}%")
+
+    slow = slow_frames(roots, top)
+    if slow:
+        lines.append("")
+        lines.append(f"top {len(slow)} slow frame(s):")
+        for node in slow:
+            attrs = node.get("attrs", {})
+            label = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(f"  {node.get('name')}({label}) "
+                         f"{node.get('dur_ms', 0.0):.2f} ms")
+            children = sorted(node.get("children", ()),
+                              key=lambda c: c.get("dur_ms", 0.0), reverse=True)
+            for child in children[:6]:
+                lines.append(f"    {child.get('name'):<16} "
+                             f"{child.get('dur_ms', 0.0):>9.2f} ms")
+    return "\n".join(lines) + "\n"

@@ -99,6 +99,7 @@ from ..mapping.ball_query import _ball_query_details
 from ..mapping.hooks import count_by_op
 from ..mapping.knn import _knn_compute
 from ..mapping.maps import MapTable
+from ..obs.trace import span as _span
 from ..pointcloud.coords import coords_to_keys, keys_to_coords
 from . import plan as _plan
 from .tiles import TilePartition, content_digest
@@ -341,22 +342,23 @@ class TileMapCache:
         try:
             if self.batched:
                 self._stats.decomposed_calls += 1
-                if op == "knn":
-                    return _plan.run_knn(
-                        self, chain, arrays[0], arrays[1], params["k"]
+                with _span("front", op=op):
+                    if op == "knn":
+                        return _plan.run_knn(
+                            self, chain, arrays[0], arrays[1], params["k"]
+                        )
+                    if op == "ball_query":
+                        return _plan.run_ball_query(
+                            self, chain, arrays[0], arrays[1],
+                            params["radius"], params["k"],
+                        )
+                    if op == "voxelize":
+                        return _plan.run_voxelize(
+                            self, chain, arrays[0], params["voxel_size"]
+                        )
+                    return _plan.run_kernel_map(
+                        self, chain, op, arrays[0], arrays[1], arrays[2]
                     )
-                if op == "ball_query":
-                    return _plan.run_ball_query(
-                        self, chain, arrays[0], arrays[1],
-                        params["radius"], params["k"],
-                    )
-                if op == "voxelize":
-                    return _plan.run_voxelize(
-                        self, chain, arrays[0], params["voxel_size"]
-                    )
-                return _plan.run_kernel_map(
-                    self, chain, op, arrays[0], arrays[1], arrays[2]
-                )
             if op == "knn":
                 return self._memo_knn(arrays[0], arrays[1], params["k"], chain)
             if op == "ball_query":

@@ -21,12 +21,14 @@ session then respects their cache configuration.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 from ..engine.engine import SimRequest, SimResult, SimulationEngine
 from ..engine.map_cache import MapCache
 from ..nn.models.registry import get_benchmark
+from ..obs.trace import current_tracer, span
 from .incremental import TileMapCache
 from .sequence import FrameSequence
 
@@ -82,11 +84,18 @@ class StreamStats:
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def latency_ms(self, percentile: float) -> float:
-        """Nearest-rank percentile of completed-frame latency."""
+        """Nearest-rank percentile of completed-frame latency.
+
+        Total on its edge cases: an empty sample is 0.0, a single sample
+        is that sample for *every* percentile, and out-of-range
+        percentiles clamp to [0, 100] instead of under/overflowing the
+        rank (p0 = min, p100 = max).
+        """
         if not self.latencies_ms:
             return 0.0
         ranked = sorted(self.latencies_ms)
-        rank = max(1, int(-(-percentile * len(ranked) // 100)))  # ceil
+        percentile = min(100.0, max(0.0, float(percentile)))
+        rank = max(1, math.ceil(percentile / 100.0 * len(ranked)))
         return ranked[min(rank, len(ranked)) - 1]
 
     def summary(self) -> dict:
@@ -238,12 +247,17 @@ class StreamSession:
             ):
                 # The frame's budget was gone before we could even start:
                 # shed it rather than burn simulation time on a stale frame.
+                # A shed frame *is* a missed deadline — count it like one,
+                # so drop_late on/off agree on the deadline_missed total.
                 self._stats.frames += 1
                 self._stats.dropped += 1
+                self._stats.deadline_missed += 1
                 yield FrameResult(index=index, dropped=True)
                 continue
+            tracer = current_tracer()
             t0 = time.perf_counter()
-            result = self.executor.run_batch([self.request(index)])[0]
+            with span("frame", index=index, stream=self.tenant) as frame_span:
+                result = self.executor.run_batch([self.request(index)])[0]
             latency = time.perf_counter() - t0
             self._clock = max(self._clock, arrival_s) + latency
             self._stats.frames += 1
@@ -256,10 +270,23 @@ class StreamSession:
             else:
                 self._stats.completed += 1
                 self._stats.latencies_ms.append(frame.latency_ms)
+                if result.deadline_met is None and self.deadline_ms is not None:
+                    # Engine executors have no QoS layer to produce a
+                    # verdict; score at the session against the same
+                    # dispatch-to-completion wall the cluster's
+                    # reply-receipt scoring uses, so both modes count
+                    # missed frames the same way.
+                    result.deadline_met = frame.latency_ms <= self.deadline_ms
             if result.deadline_met is True:
                 self._stats.deadline_met += 1
             elif result.deadline_met is False:
                 self._stats.deadline_missed += 1
+            if tracer is not None and tracer.recorder is not None:
+                tracer.recorder.record(
+                    frame_span, latency,
+                    deadline_missed=result.deadline_met is False,
+                    frame=index,
+                )
             yield frame
 
     def run(self, n_frames: int | None = None) -> list[FrameResult]:

@@ -54,6 +54,7 @@ import numpy as np
 
 from ..mapping.ball_query import _ball_query_details
 from ..mapping.hooks import batch_get, batch_put
+from ..obs.trace import span as _span
 from ..mapping.knn import _knn_compute
 from ..mapping.maps import MapTable
 from ..pointcloud.coords import _KEY_OFFSET, keys_to_coords
@@ -129,40 +130,48 @@ def run_knn(front, chain, queries, references, k: int):
     """Plan/probe/execute kNN; bit-identical to the per-tile front."""
     stats = front.stats()
     wkey = whole_key("knn", (queries, references), {"k": int(k)})
-    whole = chain.get(wkey, "knn/whole", copy=True)
+    with _span("probe", op="knn", whole=True):
+        whole = chain.get(wkey, "knn/whole", copy=True)
     stats._count("knn/whole", whole is not None)
     if whole is not None:
         return whole
-    qpart, rpart, r_cov = front._float_tiles(queries, references)
-    r_cov2 = r_cov * r_cov
-    q_digests = qpart.digest_all()
-    rpart.digest_all()
-    pre = _prefix(b"tile/knn", int(k), front.tile_size, front.halo)
-    tiles, sub_keys, fallback = [], [], []
-    for i, key in enumerate(qpart.unique_keys.tolist()):
-        q_idx = qpart.indices(key)
-        halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
-        if len(hal) == 0:
-            fallback.append(q_idx)
-            continue
-        h = pre.copy()
-        _hash_part(h, q_digests[i])
-        _hash_part(h, halo_digest)
-        _hash_part(h, perm)
-        sub_keys.append(h.digest())
-        tiles.append((q_idx, hal))
-    entries = _get_many(chain, sub_keys, "knn/tile")
-    miss = [j for j, e in enumerate(entries) if e is None]
-    for j in miss:
-        q_idx, hal = tiles[j]
-        loc, dist = _knn_compute(queries[q_idx], references[hal], k)
-        if len(hal) >= k:
-            cert = dist[:, k - 1] <= r_cov2
-        else:
-            cert = np.zeros(len(q_idx), dtype=bool)
-        entries[j] = (loc, dist, cert)
-    _put_many(chain, [sub_keys[j] for j in miss],
-              [entries[j] for j in miss], "knn/tile")
+    with _span("plan", op="knn") as plan_sp:
+        qpart, rpart, r_cov = front._float_tiles(queries, references)
+        r_cov2 = r_cov * r_cov
+        q_digests = qpart.digest_all()
+        rpart.digest_all()
+        pre = _prefix(b"tile/knn", int(k), front.tile_size, front.halo)
+        tiles, sub_keys, fallback = [], [], []
+        for i, key in enumerate(qpart.unique_keys.tolist()):
+            q_idx = qpart.indices(key)
+            halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
+            if len(hal) == 0:
+                fallback.append(q_idx)
+                continue
+            h = pre.copy()
+            _hash_part(h, q_digests[i])
+            _hash_part(h, halo_digest)
+            _hash_part(h, perm)
+            sub_keys.append(h.digest())
+            tiles.append((q_idx, hal))
+        plan_sp.count("tiles", float(len(sub_keys)))
+    with _span("probe", op="knn") as probe_sp:
+        entries = _get_many(chain, sub_keys, "knn/tile")
+        miss = [j for j, e in enumerate(entries) if e is None]
+        probe_sp.count("probes", float(len(entries)))
+        probe_sp.count("misses", float(len(miss)))
+    with _span("execute", op="knn") as exec_sp:
+        for j in miss:
+            q_idx, hal = tiles[j]
+            loc, dist = _knn_compute(queries[q_idx], references[hal], k)
+            if len(hal) >= k:
+                cert = dist[:, k - 1] <= r_cov2
+            else:
+                cert = np.zeros(len(q_idx), dtype=bool)
+            entries[j] = (loc, dist, cert)
+        _put_many(chain, [sub_keys[j] for j in miss],
+                  [entries[j] for j in miss], "knn/tile")
+        exec_sp.count("computed", float(len(miss)))
     stats._count_many("knn", hits=len(entries) - len(miss), misses=len(miss))
     idx_out = np.empty((len(queries), k), dtype=np.int64)
     dist_out = np.empty((len(queries), k), dtype=np.float64)
@@ -197,46 +206,54 @@ def run_ball_query(front, chain, queries, references, radius: float, k: int):
         "ball_query", (queries, references),
         {"radius": float(radius), "k": int(k)},
     )
-    whole = chain.get(wkey, "ball_query/whole", copy=True)
+    with _span("probe", op="ball_query", whole=True):
+        whole = chain.get(wkey, "ball_query/whole", copy=True)
     stats._count("ball_query/whole", whole is not None)
     if whole is not None:
         return whole
-    qpart, rpart, r_cov = front._float_tiles(queries, references)
-    r_cov2 = r_cov * r_cov
-    full_cover = r_cov >= radius
-    q_digests = qpart.digest_all()
-    rpart.digest_all()
-    pre = _prefix(b"tile/ball", float(radius), int(k),
-                  front.tile_size, front.halo)
-    tiles, sub_keys, fallback = [], [], []
-    for i, key in enumerate(qpart.unique_keys.tolist()):
-        q_idx = qpart.indices(key)
-        halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
-        if len(hal) == 0:
-            fallback.append(q_idx)
-            continue
-        h = pre.copy()
-        _hash_part(h, q_digests[i])
-        _hash_part(h, halo_digest)
-        _hash_part(h, perm)
-        sub_keys.append(h.digest())
-        tiles.append((q_idx, hal))
-    entries = _get_many(chain, sub_keys, "ball_query/tile")
-    miss = [j for j, e in enumerate(entries) if e is None]
-    for j in miss:
-        q_idx, hal = tiles[j]
-        loc, in_radius, kth_sq = _ball_query_details(
-            queries[q_idx], references[hal], radius, k
-        )
-        if full_cover:
-            cert = in_radius >= 1
-        elif len(hal) >= k:
-            cert = kth_sq <= r_cov2
-        else:
-            cert = np.zeros(len(q_idx), dtype=bool)
-        entries[j] = (loc, cert)
-    _put_many(chain, [sub_keys[j] for j in miss],
-              [entries[j] for j in miss], "ball_query/tile")
+    with _span("plan", op="ball_query") as plan_sp:
+        qpart, rpart, r_cov = front._float_tiles(queries, references)
+        r_cov2 = r_cov * r_cov
+        full_cover = r_cov >= radius
+        q_digests = qpart.digest_all()
+        rpart.digest_all()
+        pre = _prefix(b"tile/ball", float(radius), int(k),
+                      front.tile_size, front.halo)
+        tiles, sub_keys, fallback = [], [], []
+        for i, key in enumerate(qpart.unique_keys.tolist()):
+            q_idx = qpart.indices(key)
+            halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
+            if len(hal) == 0:
+                fallback.append(q_idx)
+                continue
+            h = pre.copy()
+            _hash_part(h, q_digests[i])
+            _hash_part(h, halo_digest)
+            _hash_part(h, perm)
+            sub_keys.append(h.digest())
+            tiles.append((q_idx, hal))
+        plan_sp.count("tiles", float(len(sub_keys)))
+    with _span("probe", op="ball_query") as probe_sp:
+        entries = _get_many(chain, sub_keys, "ball_query/tile")
+        miss = [j for j, e in enumerate(entries) if e is None]
+        probe_sp.count("probes", float(len(entries)))
+        probe_sp.count("misses", float(len(miss)))
+    with _span("execute", op="ball_query") as exec_sp:
+        for j in miss:
+            q_idx, hal = tiles[j]
+            loc, in_radius, kth_sq = _ball_query_details(
+                queries[q_idx], references[hal], radius, k
+            )
+            if full_cover:
+                cert = in_radius >= 1
+            elif len(hal) >= k:
+                cert = kth_sq <= r_cov2
+            else:
+                cert = np.zeros(len(q_idx), dtype=bool)
+            entries[j] = (loc, cert)
+        _put_many(chain, [sub_keys[j] for j in miss],
+                  [entries[j] for j in miss], "ball_query/tile")
+        exec_sp.count("computed", float(len(miss)))
     stats._count_many("ball_query",
                       hits=len(entries) - len(miss), misses=len(miss))
     idx_out = np.empty((len(queries), k), dtype=np.int64)
@@ -492,67 +509,76 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
     offsets_raw = np.asarray(offsets)  # hashed as passed (per-tile parity)
     offsets_arr = np.asarray(offsets, dtype=np.int64)
     wkey = whole_key(op, (in_coords, out_coords, offsets_raw), {})
-    whole = chain.get(wkey, op + "/whole", copy=False)
+    with _span("probe", op=op, whole=True):
+        whole = chain.get(wkey, op + "/whole", copy=False)
     stats._count(op + "/whole", whole is not None)
     if whole is not None:
         # Composed MapTables are immutable by library convention, so the
         # stored object is returned outright — which also lets the MMU's
         # per-instance cache-replay memo carry across frames.
         return whole
-    reach = int(np.abs(offsets_arr).max()) if len(offsets_arr) else 0
-    side = max(front.voxel_tile, 2 * reach)
-    ipart = front._partition(in_coords, side)
-    opart = ipart if out_coords is in_coords else front._partition(
-        out_coords, side
-    )
-    opart_packed = opart.packed()
-    o_row_bytes = opart_packed.dtype.itemsize * opart_packed.shape[1]
-    o_mv = memoryview(opart_packed).cast("B")
-    o_tag = _dtype_tag(opart_packed.dtype)
-    o_ncols = opart_packed.shape[1]
-    o_bounds = opart._bounds.tolist()
-    ipart.fill_shells(reach)
-    pre = _prefix(b"tile/kmap", algorithm, offsets_raw, int(side), int(reach))
-    keys_list = opart.unique_keys.tolist()
-    sub_keys, halos = [], []
-    for i, key in enumerate(keys_list):
-        halo_digest, hal = ipart.shell(key, reach)
-        lo, hi = o_bounds[i], o_bounds[i + 1]
-        h = pre.copy()
-        # The out tile's raw content, sliced from the packed buffer —
-        # byte-identical to hashing ``out_coords[o_idx]`` as the
-        # per-tile front does.
-        h.update(o_tag)
-        h.update(repr((hi - lo, o_ncols)).encode())
-        h.update(o_mv[lo * o_row_bytes:hi * o_row_bytes])
-        _hash_part(h, halo_digest)
-        sub_keys.append(h.digest())
-        halos.append(hal)
-    entries = _get_many(chain, sub_keys, op + "/tile")
-    miss = [j for j, e in enumerate(entries) if e is None]
-    if miss:
-        in_keys = ipart.point_keys()
-        out_keys = opart.point_keys()
-        ndim = out_coords.shape[1]
-        okey_deltas = offset_key_deltas(offsets_arr, ndim)
-        if reach and len(out_coords):
-            # The additive probe identity needs every probed coordinate
-            # inside the packable range; out-of-range geometry raises,
-            # and memoize()'s fallback computes the call plainly —
-            # exactly where the per-tile front's coords_to_keys would
-            # have landed it.
-            lo = out_coords.min(axis=0) - reach
-            hi = out_coords.max(axis=0) + reach
-            if (lo < -_KEY_OFFSET).any() or (hi > _KEY_OFFSET - 1).any():
-                raise ValueError("kernel-map probe beyond packable range")
-        for j in miss:
-            entries[j] = _tile_kernel_rows_keys(
-                in_keys[halos[j]],
-                out_keys[opart.indices(keys_list[j])],
-                okey_deltas,
-            )
-        _put_many(chain, [sub_keys[j] for j in miss],
-                  [entries[j] for j in miss], op + "/tile")
+    with _span("plan", op=op) as plan_sp:
+        reach = int(np.abs(offsets_arr).max()) if len(offsets_arr) else 0
+        side = max(front.voxel_tile, 2 * reach)
+        ipart = front._partition(in_coords, side)
+        opart = ipart if out_coords is in_coords else front._partition(
+            out_coords, side
+        )
+        opart_packed = opart.packed()
+        o_row_bytes = opart_packed.dtype.itemsize * opart_packed.shape[1]
+        o_mv = memoryview(opart_packed).cast("B")
+        o_tag = _dtype_tag(opart_packed.dtype)
+        o_ncols = opart_packed.shape[1]
+        o_bounds = opart._bounds.tolist()
+        ipart.fill_shells(reach)
+        pre = _prefix(b"tile/kmap", algorithm, offsets_raw, int(side),
+                      int(reach))
+        keys_list = opart.unique_keys.tolist()
+        sub_keys, halos = [], []
+        for i, key in enumerate(keys_list):
+            halo_digest, hal = ipart.shell(key, reach)
+            lo, hi = o_bounds[i], o_bounds[i + 1]
+            h = pre.copy()
+            # The out tile's raw content, sliced from the packed buffer —
+            # byte-identical to hashing ``out_coords[o_idx]`` as the
+            # per-tile front does.
+            h.update(o_tag)
+            h.update(repr((hi - lo, o_ncols)).encode())
+            h.update(o_mv[lo * o_row_bytes:hi * o_row_bytes])
+            _hash_part(h, halo_digest)
+            sub_keys.append(h.digest())
+            halos.append(hal)
+        plan_sp.count("tiles", float(len(sub_keys)))
+    with _span("probe", op=op) as probe_sp:
+        entries = _get_many(chain, sub_keys, op + "/tile")
+        miss = [j for j, e in enumerate(entries) if e is None]
+        probe_sp.count("probes", float(len(entries)))
+        probe_sp.count("misses", float(len(miss)))
+    with _span("execute", op=op) as exec_sp:
+        if miss:
+            in_keys = ipart.point_keys()
+            out_keys = opart.point_keys()
+            ndim = out_coords.shape[1]
+            okey_deltas = offset_key_deltas(offsets_arr, ndim)
+            if reach and len(out_coords):
+                # The additive probe identity needs every probed coordinate
+                # inside the packable range; out-of-range geometry raises,
+                # and memoize()'s fallback computes the call plainly —
+                # exactly where the per-tile front's coords_to_keys would
+                # have landed it.
+                lo = out_coords.min(axis=0) - reach
+                hi = out_coords.max(axis=0) + reach
+                if (lo < -_KEY_OFFSET).any() or (hi > _KEY_OFFSET - 1).any():
+                    raise ValueError("kernel-map probe beyond packable range")
+            for j in miss:
+                entries[j] = _tile_kernel_rows_keys(
+                    in_keys[halos[j]],
+                    out_keys[opart.indices(keys_list[j])],
+                    okey_deltas,
+                )
+            _put_many(chain, [sub_keys[j] for j in miss],
+                      [entries[j] for j in miss], op + "/tile")
+        exec_sp.count("computed", float(len(miss)))
     stats._count_many(op, hits=len(entries) - len(miss), misses=len(miss))
     rows_in, rows_out, rows_w, counts = [], [], [], []
     live_sub_keys = []
@@ -576,9 +602,16 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
     minor = ipart.point_keys()[p_idx] if algorithm == "mergesort" else q_idx
     family = (algorithm, offsets_arr.tobytes(), int(side),
               in_coords.shape[1])
-    order = front._composer.compose(
-        family, live_sub_keys, counts, w_idx, minor, len(offsets_arr)
-    )
+    composer = front._composer
+    with _span("splice", op=op) as splice_sp:
+        splices0, sorts0, fb0 = (composer.splices, composer.full_sorts,
+                                 composer.fallbacks)
+        order = composer.compose(
+            family, live_sub_keys, counts, w_idx, minor, len(offsets_arr)
+        )
+        splice_sp.count("splices", float(composer.splices - splices0))
+        splice_sp.count("full_sorts", float(composer.full_sorts - sorts0))
+        splice_sp.count("fallbacks", float(composer.fallbacks - fb0))
     table = MapTable(
         p_idx[order], q_idx[order], w_idx[order],
         kernel_volume=len(offsets_arr),
@@ -596,33 +629,41 @@ def run_voxelize(front, chain, points, voxel_size: float):
     """Plan/probe/execute one voxelize call (halo-free disjoint tiles)."""
     stats = front.stats()
     wkey = whole_key("voxelize", (points,), {"voxel_size": float(voxel_size)})
-    whole = chain.get(wkey, "voxelize/whole", copy=True)
+    with _span("probe", op="voxelize", whole=True):
+        whole = chain.get(wkey, "voxelize/whole", copy=True)
     stats._count("voxelize/whole", whole is not None)
     if whole is not None:
         return whole
-    grid = np.floor(points / voxel_size).astype(np.int64)
-    side = 4 * front.voxel_tile
-    # The partition memo is content-keyed, so the density-bypass check
-    # (and a geometry-only replay of the same grid) shares this build.
-    part = front._partition(grid, side)
-    digests = part.digest_all()
-    pre = _prefix(b"tile/voxelize", int(side))
-    sub_keys = []
-    for d in digests:
-        h = pre.copy()
-        _hash_part(h, d)
-        sub_keys.append(h.digest())
-    entries = _get_many(chain, sub_keys, "voxelize/tile")
-    miss = [j for j, e in enumerate(entries) if e is None]
-    if miss:
-        pkeys = part.point_keys()
-        keys_list = part.unique_keys.tolist()
-        for j in miss:
-            idx = part.indices(keys_list[j])
-            uniq, inv = np.unique(pkeys[idx], return_inverse=True)
-            entries[j] = (uniq, inv.astype(np.intp))
-        _put_many(chain, [sub_keys[j] for j in miss],
-                  [entries[j] for j in miss], "voxelize/tile")
+    with _span("plan", op="voxelize") as plan_sp:
+        grid = np.floor(points / voxel_size).astype(np.int64)
+        side = 4 * front.voxel_tile
+        # The partition memo is content-keyed, so the density-bypass check
+        # (and a geometry-only replay of the same grid) shares this build.
+        part = front._partition(grid, side)
+        digests = part.digest_all()
+        pre = _prefix(b"tile/voxelize", int(side))
+        sub_keys = []
+        for d in digests:
+            h = pre.copy()
+            _hash_part(h, d)
+            sub_keys.append(h.digest())
+        plan_sp.count("tiles", float(len(sub_keys)))
+    with _span("probe", op="voxelize") as probe_sp:
+        entries = _get_many(chain, sub_keys, "voxelize/tile")
+        miss = [j for j, e in enumerate(entries) if e is None]
+        probe_sp.count("probes", float(len(entries)))
+        probe_sp.count("misses", float(len(miss)))
+    with _span("execute", op="voxelize") as exec_sp:
+        if miss:
+            pkeys = part.point_keys()
+            keys_list = part.unique_keys.tolist()
+            for j in miss:
+                idx = part.indices(keys_list[j])
+                uniq, inv = np.unique(pkeys[idx], return_inverse=True)
+                entries[j] = (uniq, inv.astype(np.intp))
+            _put_many(chain, [sub_keys[j] for j in miss],
+                      [entries[j] for j in miss], "voxelize/tile")
+        exec_sp.count("computed", float(len(miss)))
     stats._count_many("voxelize",
                       hits=len(entries) - len(miss), misses=len(miss))
     # Batched structural certificate over every entry (hits included):

@@ -1,0 +1,68 @@
+"""Flight recorder: bounded retention and JSONL export."""
+
+import json
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import load_trace
+from repro.obs.trace import Span
+
+
+def _frame(index: int) -> Span:
+    root = Span("frame", {"index": index})
+    root.duration = 0.001 * (index + 1)
+    return root
+
+
+class TestRetention:
+    def test_keeps_the_k_slowest(self):
+        recorder = FlightRecorder(k_slowest=3, max_missed=8)
+        for i in range(10):
+            recorder.record(_frame(i), latency_s=0.001 * (i + 1), frame=i)
+        slow = [r for r in recorder.records() if r["kind"] == "slow"]
+        assert [r["frame"] for r in slow] == [9, 8, 7]  # slowest first
+
+    def test_missed_ring_is_bounded_and_recent(self):
+        recorder = FlightRecorder(k_slowest=0, max_missed=2)
+        for i in range(5):
+            recorder.record(_frame(i), latency_s=0.001,
+                            deadline_missed=True, frame=i)
+        missed = recorder.records()
+        assert [r["frame"] for r in missed] == [3, 4]
+        assert all(r["kind"] == "missed" for r in missed)
+
+    def test_a_missed_frame_can_also_be_slow(self):
+        recorder = FlightRecorder(k_slowest=4, max_missed=4)
+        recorder.record(_frame(0), latency_s=0.5,
+                        deadline_missed=True, frame=0)
+        kinds = sorted(r["kind"] for r in recorder.records())
+        assert kinds == ["missed", "slow"]
+
+    def test_equal_latencies_do_not_tie_break_on_spans(self):
+        """Identical latencies must not force heap comparison of Span
+        objects (which have no ordering) — the seq number tie-breaks."""
+        recorder = FlightRecorder(k_slowest=2)
+        for i in range(4):
+            recorder.record(_frame(i), latency_s=0.010, frame=i)
+        assert len([r for r in recorder.records()]) == 2
+
+
+class TestExport:
+    def test_dump_jsonl_and_report_loader(self, tmp_path):
+        recorder = FlightRecorder(k_slowest=2, max_missed=2)
+        root = _frame(0)
+        child = Span("request")
+        child.duration = 0.0005
+        root.children.append(child)
+        recorder.record(root, latency_s=0.002, deadline_missed=True, frame=0)
+        path = tmp_path / "flight.jsonl"
+        n = recorder.dump_jsonl(str(path))
+        assert n == 2  # one slow + one missed record for the same frame
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {r["kind"] for r in records} == {"slow", "missed"}
+        assert all(r["latency_ms"] == 2.0 for r in records)
+        assert all(r["span"]["children"][0]["name"] == "request"
+                   for r in records)
+        # trace-report's loader unwraps recorder records into span roots.
+        roots = load_trace(str(path))
+        assert [r["name"] for r in roots] == ["frame", "frame"]
+        assert {r["attrs"]["recorded"] for r in roots} == {"slow", "missed"}

@@ -1,0 +1,23 @@
+"""Property-suite harness knobs.
+
+``REPRO_TRACE=1`` runs the whole property suite with a live tracer
+installed — every bit-identity proof then doubles as a proof that
+tracing is observability only (spans may change wall-clock, never a
+result).  Off by default so the plain run keeps measuring the disabled
+hook path.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.trace import Tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def _tracing_mode():
+    if os.environ.get("REPRO_TRACE") == "1":
+        with use_tracer(Tracer()):
+            yield
+    else:
+        yield

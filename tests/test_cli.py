@@ -208,6 +208,51 @@ class TestCommands:
         assert payload["speedup"] > 0
         assert "tiles" in payload
 
+    def test_serve_stream_with_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--trace", str(trace), "--metrics", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        roots = [json.loads(line) for line in
+                 trace.read_text().strip().splitlines()]
+        assert [r["name"] for r in roots] == ["frame", "frame"]
+        names = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node.get("children", ()))
+        assert {"frame", "request", "plan", "probe", "execute"} <= names
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["histograms"]["span_ms.frame"]["count"] == 2
+        assert snapshot["counters"]["spans.frame"] == 2
+        # The flight-recorder sidecar retains the same frames.
+        flight = tmp_path / "trace.flight.jsonl"
+        assert flight.exists()
+        records = [json.loads(line) for line in
+                   flight.read_text().strip().splitlines()]
+        assert all(r["kind"] == "slow" for r in records)
+
+    def test_trace_report_renders_phases_and_slow_frames(self, tmp_path,
+                                                         capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "self ms" in out
+        assert "top 1 slow frame(s):" in out
+        assert "frame(index=" in out
+
+    def test_trace_report_missing_file_exits_2(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_serve_fleet(self, capsys):
         code = main(["serve-fleet", "--streams", "2", "--frames", "2",
