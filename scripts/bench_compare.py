@@ -33,6 +33,16 @@ Intended wiring: CI archives ``BENCH_*.json`` per run, downloads the
 previous run's artifact (tolerating absence) and gates with
 ``--baseline``; release engineering appends one ``--record`` line per PR
 so ``benchmarks/TRAJECTORY.json`` accumulates the perf history in-repo.
+``--record`` is idempotent per commit: an entry whose (command, label,
+commit) already exists in the trajectory is skipped, so a re-run CI job
+cannot double-append.
+
+Phase attribution: pass ``--baseline-trace`` / ``--candidate-trace``
+(the runs' ``--trace`` JSONL files) and the comparison attaches a
+``repro trace-diff`` verdict — *which phase* moved, not just that
+throughput did.  Either trace absent = attribution silently skipped
+(first run, or spans not captured); ``--attribution-out PATH`` writes
+the machine verdict JSON next to the report.
 """
 
 from __future__ import annotations
@@ -40,8 +50,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
 
 #: Payload schema versions this script understands (see
 #: ``repro.cli.BENCH_JSON_SCHEMA``).
@@ -116,13 +131,32 @@ def compare(baseline: dict, candidate: dict, metric: str,
     return regressed, message
 
 
-def trajectory_entry(payload: dict, label: str | None) -> dict:
+def _current_commit() -> str | None:
+    """The commit being recorded: CI's GITHUB_SHA, else git, else None."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def trajectory_entry(payload: dict, label: str | None,
+                     commit: str | None = None) -> dict:
     """A compact, diff-reviewable summary of one bench payload."""
     entry = {
         "command": payload.get("command"),
         "label": label,
         "date": time.strftime("%Y-%m-%d"),
     }
+    if commit is not None:
+        entry["commit"] = commit
     for key in TRAJECTORY_KEYS:
         value = payload.get(key)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
@@ -132,13 +166,19 @@ def trajectory_entry(payload: dict, label: str | None) -> dict:
 
 def record(paths: list[str], trajectory_path: str,
            label: str | None) -> int:
-    """Append one entry per payload to the trajectory file."""
+    """Append one entry per payload to the trajectory file.
+
+    Idempotent per commit: a payload whose (command, label, commit)
+    triple is already recorded is skipped with a note (exit 0), so a
+    re-run of the same CI job cannot double-append history."""
     if not paths:
         print("error: --record needs at least one payload file",
               file=sys.stderr)
         return 2
+    commit = _current_commit()
     try:
-        entries = [trajectory_entry(load_payload(p), label) for p in paths]
+        entries = [trajectory_entry(load_payload(p), label, commit)
+                   for p in paths]
     except CompareError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -155,7 +195,26 @@ def record(paths: list[str], trajectory_path: str,
             print(f"error: {trajectory_path} has unknown schema "
                   f"{trajectory.get('schema')!r}", file=sys.stderr)
             return 2
-    trajectory.setdefault("entries", []).extend(entries)
+    existing = {
+        (e.get("command"), e.get("label"), e.get("commit"))
+        for e in trajectory.get("entries", ())
+        if e.get("commit") is not None
+    }
+    fresh, skipped = [], []
+    for entry in entries:
+        key = (entry.get("command"), entry.get("label"), entry.get("commit"))
+        if key[2] is not None and key in existing:
+            skipped.append(entry)
+        else:
+            existing.add(key)
+            fresh.append(entry)
+    for entry in skipped:
+        print(f"already recorded {entry['command']} "
+              f"(label {entry.get('label')!r}, commit "
+              f"{str(entry.get('commit'))[:12]}) — skipping duplicate")
+    if not fresh:
+        return 0
+    trajectory.setdefault("entries", []).extend(fresh)
     try:
         with open(trajectory_path, "w", encoding="utf-8") as fh:
             json.dump(trajectory, fh, indent=2, sort_keys=True)
@@ -164,12 +223,51 @@ def record(paths: list[str], trajectory_path: str,
         print(f"error: cannot write {trajectory_path}: {exc}",
               file=sys.stderr)
         return 2
-    for entry in entries:
+    for entry in fresh:
         speedup = entry.get("speedup")
         rendered = f"{speedup:.2f}x" if speedup is not None else "-"
         print(f"recorded {entry['command']} speedup {rendered} "
               f"-> {trajectory_path}")
     return 0
+
+
+def attribute(baseline_trace: str | None, candidate_trace: str | None,
+              out_path: str | None) -> None:
+    """Attach a trace-diff phase attribution to the comparison, when both
+    runs' trace files exist.  Attribution is best-effort decoration of the
+    report — it never changes the exit code."""
+    if not baseline_trace or not candidate_trace:
+        return
+    for path in (baseline_trace, candidate_trace):
+        if not os.path.exists(path):
+            print(f"no trace at {path} — skipping phase attribution")
+            return
+    try:
+        from repro.obs.diff import trace_diff
+    except ImportError as exc:
+        print(f"phase attribution unavailable ({exc})")
+        return
+    try:
+        diff = trace_diff(baseline_trace, candidate_trace)
+    except OSError as exc:
+        print(f"cannot read traces for attribution: {exc}")
+        return
+    print(f"attribution: {diff['verdict']}")
+    for row in diff["phases"][:3]:
+        if abs(row["delta_ms"]) <= 0:
+            continue
+        print(f"  {row['phase']}: self {row['baseline_self_ms']:.2f} -> "
+              f"{row['candidate_self_ms']:.2f} ms "
+              f"({row['delta_ms']:+.2f} ms, "
+              f"{100.0 * row['share']:.0f}% of total delta)")
+    if out_path:
+        try:
+            with open(out_path, "w", encoding="utf-8") as fh:
+                json.dump(diff, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {out_path}")
+        except OSError as exc:
+            print(f"cannot write {out_path}: {exc}")
 
 
 def main(argv=None) -> int:
@@ -196,6 +294,14 @@ def main(argv=None) -> int:
                         help="trajectory file for --record")
     parser.add_argument("--label", default=None,
                         help="entry label for --record (e.g. a PR number)")
+    parser.add_argument("--baseline-trace", default=None, metavar="PATH",
+                        help="baseline run's --trace JSONL; with "
+                             "--candidate-trace, attach a phase "
+                             "attribution (skipped when absent)")
+    parser.add_argument("--candidate-trace", default=None, metavar="PATH",
+                        help="candidate run's --trace JSONL")
+    parser.add_argument("--attribution-out", default=None, metavar="PATH",
+                        help="write the trace-diff verdict JSON here")
     args = parser.parse_args(argv)
 
     if args.record:
@@ -230,6 +336,8 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(message)
+    attribute(args.baseline_trace, args.candidate_trace,
+              args.attribution_out)
     if regressed:
         print("REGRESSION: candidate fell below the threshold",
               file=sys.stderr)

@@ -22,7 +22,10 @@ Commands:
 * ``bench-fleet``  — shared fleet vs the same streams with per-stream-only
                      caching;
 * ``trace-report`` — per-phase time breakdown + top-N slow frames from a
-                     ``--trace`` JSONL file.
+                     ``--trace`` JSONL file (``--ledger-file`` joins a
+                     ledger for a top-recompute-causes section);
+* ``trace-diff``   — align two ``--trace`` files by phase and attribute
+                     the self-time delta ("splice +38% on ~same calls").
 
 The ``bench-*`` commands accept ``--json PATH`` to additionally write the
 measured numbers as machine-readable JSON (CI archives these as
@@ -31,9 +34,12 @@ version field so downstream consumers can detect format drift.
 
 Every serve/bench command also accepts ``--trace PATH`` (dump the run's
 span trees as JSONL, plus a ``*.flight.jsonl`` sidecar holding the flight
-recorder's retained slowest / deadline-missed frames) and ``--metrics
-PATH`` (a :class:`repro.obs.MetricsRegistry` snapshot with per-phase
-latency histograms and counters derived from the same spans).
+recorder's retained slowest / deadline-missed frames), ``--metrics PATH``
+(a :class:`repro.obs.MetricsRegistry` snapshot with per-phase latency
+histograms and counters derived from the same spans, plus the handler's
+session/cluster summary ingested as a registry source), and ``--ledger
+PATH`` (the :class:`repro.obs.RecomputeLedger` event log recording *why*
+each tile hit, recomputed, or fell back).
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ import json
 import os
 import sys
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 
 from .baselines.mesorasi import UnsupportedModelError
 from .cluster import (
@@ -67,7 +73,10 @@ from .experiments import ALL_EXPERIMENTS
 from .experiments.common import format_table
 from .fleet import FleetSession, StreamSpec
 from .nn.models.registry import BENCHMARKS, MINI_MINKUNET, build_trace
-from .obs import FlightRecorder, MetricsRegistry, Tracer, render_report
+from .obs import (FlightRecorder, MetricsRegistry, RecomputeLedger, Tracer,
+                  render_diff, render_report, trace_diff)
+from .obs.ledger import use_ledger
+from .obs.metrics import current_registry, use_registry
 from .obs.trace import use_tracer
 from .stream import FrameSequence, SequenceConfig, StreamSession
 
@@ -292,18 +301,32 @@ def _span_metrics(registry: MetricsRegistry, roots) -> None:
 
 @contextmanager
 def _observability(args):
-    """Install a tracer (+ flight recorder) around a serve/bench handler
-    when ``--trace``/``--metrics`` ask for one, and write the files after
-    the handler returns — also on failure, so a partial run still leaves
-    its spans behind for post-mortem."""
+    """Install a tracer (+ flight recorder), metrics registry, and
+    recompute ledger around a serve/bench handler when
+    ``--trace``/``--metrics``/``--ledger`` ask for them, and write the
+    files after the handler returns — also on failure, so a partial run
+    still leaves its telemetry behind for post-mortem.
+
+    The registry is installed *before* the handler runs (see
+    ``use_registry``) so handlers can ``ingest`` their session/cluster
+    summaries — one metrics file then carries both span timings and
+    cache counters."""
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    ledger_path = getattr(args, "ledger", None)
+    if not trace_path and not metrics_path and not ledger_path:
         yield
         return
     tracer = Tracer(recorder=FlightRecorder())
+    registry = MetricsRegistry() if metrics_path else None
+    ledger = RecomputeLedger() if ledger_path else None
     try:
-        with use_tracer(tracer):
+        with ExitStack() as stack:
+            stack.enter_context(use_tracer(tracer))
+            if registry is not None:
+                stack.enter_context(use_registry(registry))
+            if ledger is not None:
+                stack.enter_context(use_ledger(ledger))
             yield
     finally:
         try:
@@ -317,10 +340,15 @@ def _observability(args):
                     tracer.recorder.dump_jsonl(flight)
                     print(f"wrote {flight} "
                           f"({len(records)} flight-recorder records)")
+            if ledger_path:
+                n = ledger.dump_jsonl(ledger_path)
+                dropped = f", {ledger.dropped} dropped" if ledger.dropped else ""
+                print(f"wrote {ledger_path} ({n} ledger events{dropped})")
             if metrics_path:
-                registry = MetricsRegistry()
                 registry.gauge("trace.roots", float(len(tracer.roots)))
                 _span_metrics(registry, tracer.roots)
+                if ledger is not None:
+                    registry.ingest("ledger", ledger.summary())
                 with open(metrics_path, "w", encoding="utf-8") as fh:
                     json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
                     fh.write("\n")
@@ -329,16 +357,51 @@ def _observability(args):
             raise CLIError(f"cannot write observability file: {exc}") from exc
 
 
+def _ingest_metrics(name: str, payload: dict) -> None:
+    """Fold a session/cluster summary into the ``--metrics`` registry
+    (no-op when no registry is active)."""
+    registry = current_registry()
+    if registry is not None:
+        registry.ingest(name, payload)
+
+
 def cmd_trace_report(args) -> int:
-    """Per-phase time breakdown + top-N slow frames from a trace file."""
+    """Per-phase time breakdown + top-N slow frames from a trace file.
+
+    Malformed lines are skipped with a counted warning and an empty file
+    reports "no spans" — both exit 0, so a truncated trace from a crashed
+    run still yields whatever it can.  Only an unreadable *file* is an
+    error (exit 2)."""
     path = args.trace_file
     try:
-        report = render_report(path, top=args.top)
+        report = render_report(path, top=args.top,
+                               ledger=getattr(args, "ledger_file", None))
     except OSError as exc:
         raise CLIError(f"cannot read trace file {path}: {exc}") from exc
-    except (json.JSONDecodeError, ValueError) as exc:
-        raise CLIError(f"malformed trace file {path}: {exc}") from exc
     print(report, end="")
+    return 0
+
+
+def cmd_trace_diff(args) -> int:
+    """Attribute the delta between two trace files to phases.
+
+    Informational: exits 0 whether or not the candidate regressed — the
+    regression *gate* is ``scripts/bench_compare.py``, which attaches
+    this verdict to its report when traces are available."""
+    try:
+        diff = trace_diff(args.baseline, args.candidate)
+    except OSError as exc:
+        raise CLIError(f"cannot read trace file: {exc}") from exc
+    print(render_diff(diff, top=args.top), end="")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(diff, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            raise CLIError(f"cannot write --json file {args.json}: {exc}") \
+                from exc
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -362,6 +425,7 @@ def cmd_serve_sim(args) -> int:
               f"{'reuse' if result.trace_reused else 'build':>6s} "
               f"{result.wall_seconds * 1e3:8.2f}")
     stats = engine.stats()
+    _ingest_metrics("engine", stats.summary())
     cache = stats.map_cache or {}
     print(f"\nserved {stats.requests} requests in {stats.wall_seconds:.3f}s "
           f"({stats.throughput_rps:.1f} req/s, policy={args.policy})")
@@ -498,6 +562,7 @@ def cmd_serve_cluster(args) -> int:
               f"{'reuse' if result.trace_reused else 'build':>6s} "
               f"{deadline:>8s}")
     stats = cluster.stats()
+    _ingest_metrics("cluster", stats.summary())
     cluster.close()  # stats already collected; stop worker processes
     workers = f", workers={stats.workers}" if stats.workers else ""
     print(f"\nserved {stats.admitted}/{stats.requests} requests "
@@ -674,6 +739,7 @@ def cmd_serve_stream(args) -> int:
         print(f"{frame.index:5d} {n_pts:7d} {modeled} "
               f"{tile_hits:9d} {frame.latency_ms:8.1f} {deadline:>8s}")
     summary = session.summary()
+    _ingest_metrics("stream", summary)
     print(f"\nserved {summary['completed']}/{summary['frames']} frames "
           f"({summary['dropped']} dropped, {summary['rejected']} rejected) "
           f"in {summary['wall_seconds']:.3f}s "
@@ -738,6 +804,7 @@ def cmd_bench_stream(args) -> int:
         for c, w in zip(cold, warm)
     )
     summary = session.summary()
+    _ingest_metrics("stream", summary)
     session.close()  # stats collected; stop worker processes, when any
     tiles = summary.get("tiles") or {}
     n = args.frames
@@ -859,6 +926,7 @@ def cmd_serve_fleet(args) -> int:
             print(f"{frame.index:5d} {name:>6s} {n_pts:7d} {modeled} "
                   f"{frame.latency_ms:8.1f} {deadline:>8s}")
     summary = session.summary()
+    _ingest_metrics("fleet", summary)
     print(f"\nserved {summary['completed']}/{summary['frames']} frames "
           f"from {len(session.streams)} streams "
           f"({summary['rejected']} rejected) in "
@@ -923,6 +991,7 @@ def cmd_bench_fleet(args) -> int:
         for a, b in zip(solo_results[name], fleet_results[name])
     )
     summary = session.summary()
+    _ingest_metrics("fleet", summary)
     session.close()  # stats collected; stop worker processes, when any
     world = summary.get("world_tiles", {})
     n = summary["frames"]
@@ -1065,6 +1134,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", default=None, metavar="PATH",
                        help="write a metrics snapshot (per-phase latency "
                             "histograms and counters) as JSON")
+        p.add_argument("--ledger", default=None, metavar="PATH",
+                       help="write the recompute-lineage ledger (why each "
+                            "tile hit, recomputed, or fell back) as JSONL")
 
     srv_p = sub.add_parser(
         "serve-sim", help="stream a workload through the engine"
@@ -1242,6 +1314,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "*.flight.jsonl flight-recorder dump")
     tr_p.add_argument("--top", type=int, default=5,
                       help="slow frames to detail")
+    tr_p.add_argument("--ledger-file", default=None, metavar="PATH",
+                      help="join a --ledger JSONL by frame id for a top "
+                           "recompute-causes section")
+
+    td_p = sub.add_parser(
+        "trace-diff",
+        help="attribute the delta between two --trace files to phases",
+    )
+    td_p.add_argument("baseline", metavar="BASELINE",
+                      help="baseline trace JSONL (the 'before' run)")
+    td_p.add_argument("candidate", metavar="CANDIDATE",
+                      help="candidate trace JSONL (the 'after' run)")
+    td_p.add_argument("--top", type=int, default=None,
+                      help="phases to show (default: all)")
+    td_p.add_argument("--json", default=None, metavar="PATH",
+                      help="additionally write the machine verdict as JSON")
 
     return parser
 
@@ -1263,6 +1351,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-fleet": cmd_serve_fleet,
         "bench-fleet": cmd_bench_fleet,
         "trace-report": cmd_trace_report,
+        "trace-diff": cmd_trace_diff,
     }
     try:
         with _observability(args):

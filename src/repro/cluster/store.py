@@ -46,6 +46,7 @@ import pickle
 import time
 
 from ..engine.map_cache import MapCache, _copy_value
+from ..obs.ledger import current_ledger as _current_ledger
 
 __all__ = ["SharedMapStore"]
 
@@ -259,6 +260,9 @@ class SharedMapStore(MapCache):
             except OSError:
                 continue
             self.stats().extra["disk_evictions"] += 1
+            ledger = _current_ledger()
+            if ledger is not None:
+                ledger.eviction("disk", name.rsplit(".", 1)[0], size)
             total -= size
             self._disk_bytes_estimate = total
             if total <= self.max_disk_bytes:

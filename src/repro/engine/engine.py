@@ -35,6 +35,7 @@ from ..baselines.mesorasi import UnsupportedModelError
 from ..core.report import PerfReport
 from ..mapping.hooks import TieredLookup, request_context, use_map_cache
 from ..nn.models.registry import run_benchmark
+from ..obs.ledger import ledger_frame
 from ..obs.trace import current_tracer, span
 from ..nn.trace import Trace
 from .backends import resolve_backend
@@ -248,9 +249,10 @@ class SimulationEngine:
         else:
             ctx = nullcontext()
             hits0 = misses0 = 0
-        # The tenant context is observability only (cache-front hit
-        # attribution); it must never reach the compute path.
-        with request_context(request.tenant), ctx:
+        # The tenant and ledger-frame contexts are observability only
+        # (cache-front hit attribution, recompute lineage); they must
+        # never reach the compute path.
+        with request_context(request.tenant), ledger_frame(request.tag), ctx:
             trace, _ = run_benchmark(
                 request.benchmark, scale=request.scale, seed=request.seed,
                 geometry_only=request.geometry_only,

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..mapping.hooks import count_by_op
 from ..mapping.maps import MapTable
+from ..obs.ledger import current_ledger as _current_ledger
 
 __all__ = ["MapCache", "MapCacheStats"]
 
@@ -237,8 +238,12 @@ class MapCache:
             self._stats.stored_bytes > self.max_bytes and len(self._entries) > 1
         ):
             key, dropped = self._entries.popitem(last=False)
-            self._stats.stored_bytes -= _value_bytes(dropped)
+            nbytes = _value_bytes(dropped)
+            self._stats.stored_bytes -= nbytes
             self._stats.evictions += 1
+            ledger = _current_ledger()
+            if ledger is not None:
+                ledger.eviction("memory", key.hex(), nbytes)
             self._evicted[key] = None
             while len(self._evicted) > _EVICTED_MEMORY:
                 self._evicted.popitem(last=False)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from ..engine.engine import SimRequest, SimulationEngine
 from ..nn.models.registry import get_benchmark
+from ..obs.ledger import current_ledger
 from ..obs.trace import current_tracer, span
 from ..stream.incremental import TileMapCache
 from ..stream.pipeline import FrameResult, streaming_map_cache
@@ -397,6 +398,9 @@ class FleetSession:
             elif self.tile_cache is not None:
                 out["tiles"] = self.tile_cache.stats().snapshot()
         out["executor"] = executor
+        ledger = current_ledger()
+        if ledger is not None:
+            out["ledger"] = ledger.summary()
         return out
 
     def close(self) -> None:

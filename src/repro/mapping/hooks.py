@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from ..obs.ledger import current_ledger as _current_ledger
 from ..obs.trace import span as _span
 
 __all__ = [
@@ -188,6 +189,12 @@ class TieredLookup:
         """
         values: list = [None] * len(keys)
         missing = list(range(len(keys)))
+        # The ledger classifies *tile* probes only (the planner's
+        # "<op>/tile" batches): this tier loop is the one place that knows
+        # which tier served each hit, so hit causes are emitted here while
+        # miss causes stay with the planner's digest diagnosis.
+        ledger = _current_ledger()
+        track = ledger is not None and op.endswith("/tile")
         for depth, tier in enumerate(self.tiers):
             if not missing:
                 break
@@ -196,6 +203,8 @@ class TieredLookup:
             # overhead stays off the per-tile hot path.
             with _span("tier_io", tier=type(tier).__name__, op=op,
                        way="get") as sp:
+                disk0 = (getattr(tier.stats(), "extra", {}).get("disk_hits", 0)
+                         if track else 0)
                 got = batch_get(tier, [keys[i] for i in missing], op, copy=copy)
                 still, hit_keys, hit_values = [], [], []
                 for i, value in zip(missing, got):
@@ -210,6 +219,17 @@ class TieredLookup:
                         batch_put(upper, hit_keys, hit_values, op, copy=copy)
                 sp.count("probes", float(len(got)))
                 sp.count("hits", float(len(hit_keys)))
+                if track and hit_keys:
+                    # Disk-served hits are visible as the tier's disk_hits
+                    # counter advancing across this batch; the remainder
+                    # were served from that tier's memory.
+                    disk = (getattr(tier.stats(), "extra", {})
+                            .get("disk_hits", 0) - disk0)
+                    disk = max(0, min(disk, len(hit_keys)))
+                    memory = len(hit_keys) - disk
+                    ledger.tile(op, "disk_hit", disk)
+                    ledger.tile(op, "l1_hit" if depth == 0 else "l2_hit",
+                                memory)
             missing = still
         return values
 

@@ -18,9 +18,11 @@ equal-length numeric lists (histogram bucket counts) sum element-wise.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-__all__ = ["Histogram", "MetricsRegistry", "merge_snapshots"]
+__all__ = ["Histogram", "MetricsRegistry", "current_registry",
+           "merge_snapshots", "use_registry"]
 
 
 def merge_snapshots(snapshots) -> dict:
@@ -191,3 +193,27 @@ class MetricsRegistry:
     def merge(snapshots: List[dict]) -> dict:
         """Merge snapshots from several registries/workers (see module doc)."""
         return merge_snapshots(snapshots)
+
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    return _ACTIVE
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the process-wide active registry (nests).
+
+    Lets session/cluster handlers :meth:`MetricsRegistry.ingest` their
+    ``summary()`` payloads into whatever registry ``--metrics`` opened,
+    without threading the registry through every constructor.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous

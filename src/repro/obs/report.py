@@ -12,20 +12,37 @@ every nesting level.  Each span is charged ``duration - sum(children)``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["load_trace", "phase_breakdown", "render_report", "slow_frames"]
+__all__ = ["load_ledger_events", "load_trace", "phase_breakdown",
+           "recompute_causes", "render_report", "slow_frames"]
 
 
-def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Load root span dicts from a trace or flight-recorder JSONL file."""
+def load_trace(path: str,
+               errors: Optional[List[str]] = None) -> List[Dict[str, Any]]:
+    """Load root span dicts from a trace or flight-recorder JSONL file.
+
+    Malformed lines (truncated writes, non-JSON garbage, non-object
+    values) are skipped, not raised: a partially-written trace from a
+    crashed run should still yield a report.  Pass ``errors=[]`` to
+    receive one ``"line N: reason"`` string per skipped line.
+    """
     roots: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
-            obj = json.loads(line)
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                if errors is not None:
+                    errors.append(f"line {lineno}: {exc}")
+                continue
+            if not isinstance(obj, dict):
+                if errors is not None:
+                    errors.append(f"line {lineno}: not a span object")
+                continue
             if "span" in obj and isinstance(obj["span"], dict):
                 span = obj["span"]  # flight-recorder record
                 span.setdefault("attrs", {}).setdefault(
@@ -72,11 +89,66 @@ def slow_frames(roots: List[Dict[str, Any]], top: int = 5) -> List[Dict[str, Any
     return frames[:top]
 
 
-def render_report(path: str, top: int = 5) -> str:
-    roots = load_trace(path)
+def load_ledger_events(path: str,
+                       errors: Optional[List[str]] = None
+                       ) -> List[Dict[str, Any]]:
+    """Load ledger event dicts from a ``--ledger`` JSONL file (lenient)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                if errors is not None:
+                    errors.append(f"line {lineno}: {exc}")
+                continue
+            if isinstance(obj, dict):
+                events.append(obj)
+    return events
+
+
+def _frame_tags(node: Dict[str, Any]) -> List[str]:
+    """Ledger frame tags that could belong to a frame/round span.
+
+    Stream frames are tagged ``f{index}``; fleet frames ``{stream}/f{index}``.
+    """
+    attrs = node.get("attrs", {})
+    index = attrs.get("index")
+    if index is None:
+        return []
+    tags = [f"f{index}"]
+    stream = attrs.get("stream")
+    if stream is not None:
+        tags.append(f"{stream}/f{index}")
+    return tags
+
+
+def recompute_causes(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Tiles per recompute/fallback cause, across all tile events."""
+    causes: Dict[str, int] = {}
+    for ev in events:
+        if ev.get("kind") != "tile":
+            continue
+        cause = ev.get("cause", "?")
+        if cause.startswith("recompute") or cause.startswith("fallback"):
+            causes[cause] = causes.get(cause, 0) + int(ev.get("n", 1))
+    return causes
+
+
+def render_report(path: str, top: int = 5,
+                  ledger: Optional[str] = None) -> str:
+    errors: List[str] = []
+    roots = load_trace(path, errors=errors)
     lines: List[str] = []
+    if errors:
+        lines.append(f"warning: skipped {len(errors)} malformed line(s) "
+                     f"in {path}")
     if not roots:
-        return f"trace {path}: empty\n"
+        lines.append(f"trace {path}: empty (no spans)")
+        return "\n".join(lines) + "\n"
 
     phases = phase_breakdown(roots)
     total_self = sum(p["self_ms"] for p in phases.values()) or 1.0
@@ -91,6 +163,21 @@ def render_report(path: str, top: int = 5) -> str:
                      f"{p['self_ms']:>10.2f} "
                      f"{100.0 * p['self_ms'] / total_self:>6.1f}%")
 
+    events: List[Dict[str, Any]] = []
+    if ledger is not None:
+        events = load_ledger_events(ledger)
+        # frame tag -> recomputed/fallback tile count, for the slow-frame join
+        per_frame: Dict[str, int] = {}
+        for ev in events:
+            if ev.get("kind") != "tile":
+                continue
+            cause = ev.get("cause", "")
+            if cause.startswith("recompute") or cause.startswith("fallback"):
+                tag = str(ev.get("frame"))
+                per_frame[tag] = per_frame.get(tag, 0) + int(ev.get("n", 1))
+    else:
+        per_frame = {}
+
     slow = slow_frames(roots, top)
     if slow:
         lines.append("")
@@ -100,9 +187,26 @@ def render_report(path: str, top: int = 5) -> str:
             label = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
             lines.append(f"  {node.get('name')}({label}) "
                          f"{node.get('dur_ms', 0.0):.2f} ms")
+            recomputes = sum(per_frame.get(t, 0) for t in _frame_tags(node))
+            if recomputes:
+                lines.append(f"    recomputed tiles: {recomputes}")
             children = sorted(node.get("children", ()),
                               key=lambda c: c.get("dur_ms", 0.0), reverse=True)
             for child in children[:6]:
                 lines.append(f"    {child.get('name'):<16} "
                              f"{child.get('dur_ms', 0.0):>9.2f} ms")
+
+    if ledger is not None:
+        causes = recompute_causes(events)
+        lines.append("")
+        lines.append(f"ledger {ledger}: {len(events)} event(s)")
+        if causes:
+            lines.append("top recompute causes:")
+            total = sum(causes.values()) or 1
+            for cause, n in sorted(causes.items(),
+                                   key=lambda kv: kv[1], reverse=True):
+                lines.append(f"  {cause:<28} {n:>8} tiles "
+                             f"{100.0 * n / total:>5.1f}%")
+        else:
+            lines.append("no recompute events (all tiles reused)")
     return "\n".join(lines) + "\n"

@@ -267,6 +267,12 @@ class TileMapCache:
         # per-tile digests, and shells are reused across those calls.  The
         # held reference keeps the id stable; bounded, oldest out first.
         self._partitions: OrderedDict = OrderedDict()
+        # Recompute-lineage diagnosis memory: per (op, params, tenant)
+        # family, the last-seen (tile digest, halo digest) per spatial
+        # tile key.  Written only by the ledger path (repro.obs.ledger
+        # active) and never read by the compute path — purely
+        # observability state.
+        self._ledger_memory: dict = {}
 
     def stats(self) -> TileFrontStats:
         return self._stats

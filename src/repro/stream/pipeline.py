@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..engine.engine import SimRequest, SimResult, SimulationEngine
 from ..engine.map_cache import MapCache
 from ..nn.models.registry import get_benchmark
+from ..obs.ledger import current_ledger
 from ..obs.trace import current_tracer, span
 from .incremental import TileMapCache
 from .sequence import FrameSequence
@@ -316,6 +317,9 @@ class StreamSession:
         elif self.tile_cache is not None:
             out["tiles"] = self.tile_cache.stats().snapshot()
         out["executor"] = executor_stats
+        ledger = current_ledger()
+        if ledger is not None:
+            out["ledger"] = ledger.summary()
         return out
 
     def close(self) -> None:

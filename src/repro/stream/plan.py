@@ -53,7 +53,8 @@ from collections import OrderedDict, deque
 import numpy as np
 
 from ..mapping.ball_query import _ball_query_details
-from ..mapping.hooks import batch_get, batch_put
+from ..mapping.hooks import batch_get, batch_put, current_tenant
+from ..obs.ledger import current_ledger
 from ..obs.trace import span as _span
 from ..mapping.knn import _knn_compute
 from ..mapping.maps import MapTable
@@ -122,6 +123,55 @@ def _put_many(chain, keys, values, op: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# Recompute lineage: per-tile miss diagnosis for the ledger
+# ----------------------------------------------------------------------
+
+#: Spatial keys remembered per (op, params, tenant) family before the
+#: diagnosis memory resets to cold (bounds a long drive's footprint).
+_LEDGER_MEMORY_LIMIT = 65536
+
+
+def _digest_bytes(value) -> bytes:
+    return value if isinstance(value, bytes) else bytes(value)
+
+
+def _ledger_classify(ledger, front, op, family, tile_ids, miss) -> None:
+    """Diagnose *why* each missed tile of one planned call recomputed.
+
+    ``tile_ids`` carries ``(spatial_key, tile_digest, halo_digest)`` per
+    planned tile, aligned with the probe's sub-keys; ``miss`` indexes the
+    tiles whose chain probe came back empty.  Against the front's
+    previous sighting of each spatial key (held per call family, so
+    different params or tenants never cross-diagnose): an unseen key is
+    ``cold``, a changed tile digest is ``digest_changed``, a changed halo
+    digest on an unchanged tile is ``halo_moved``, and identical digests
+    that still missed mean the entry was ``evicted`` from every tier.
+    The memory refreshes from hits too — this function only *reads* cache
+    state, so ledger-on runs stay bit-identical to ledger-off.
+    """
+    memory = front._ledger_memory.setdefault(family, {})
+    causes: dict = {}
+    for j in miss:
+        skey, tile_digest, halo_digest = tile_ids[j]
+        prev = memory.get(skey)
+        if prev is None:
+            cause = "recompute(cold)"
+        elif prev[0] != tile_digest:
+            cause = "recompute(digest_changed)"
+        elif prev[1] != halo_digest:
+            cause = "recompute(halo_moved)"
+        else:
+            cause = "recompute(evicted)"
+        causes[cause] = causes.get(cause, 0) + 1
+    if len(memory) + len(tile_ids) > _LEDGER_MEMORY_LIMIT:
+        memory.clear()
+    for skey, tile_digest, halo_digest in tile_ids:
+        memory[skey] = (tile_digest, halo_digest)
+    for cause, n in causes.items():
+        ledger.tile(op, cause, n)
+
+
+# ----------------------------------------------------------------------
 # kNN / ball query
 # ----------------------------------------------------------------------
 
@@ -129,11 +179,14 @@ def _put_many(chain, keys, values, op: str) -> None:
 def run_knn(front, chain, queries, references, k: int):
     """Plan/probe/execute kNN; bit-identical to the per-tile front."""
     stats = front.stats()
+    ledger = current_ledger()
     wkey = whole_key("knn", (queries, references), {"k": int(k)})
     with _span("probe", op="knn", whole=True):
         whole = chain.get(wkey, "knn/whole", copy=True)
     stats._count("knn/whole", whole is not None)
     if whole is not None:
+        if ledger is not None:
+            ledger.call("knn", 0, cause="probe_hit")
         return whole
     with _span("plan", op="knn") as plan_sp:
         qpart, rpart, r_cov = front._float_tiles(queries, references)
@@ -141,7 +194,7 @@ def run_knn(front, chain, queries, references, k: int):
         q_digests = qpart.digest_all()
         rpart.digest_all()
         pre = _prefix(b"tile/knn", int(k), front.tile_size, front.halo)
-        tiles, sub_keys, fallback = [], [], []
+        tiles, sub_keys, fallback, tile_ids = [], [], [], []
         for i, key in enumerate(qpart.unique_keys.tolist()):
             q_idx = qpart.indices(key)
             halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
@@ -154,12 +207,24 @@ def run_knn(front, chain, queries, references, k: int):
             _hash_part(h, perm)
             sub_keys.append(h.digest())
             tiles.append((q_idx, hal))
+            if ledger is not None:
+                tile_ids.append((key, _digest_bytes(q_digests[i]),
+                                 _digest_bytes(halo_digest)))
         plan_sp.count("tiles", float(len(sub_keys)))
+    if ledger is not None:
+        ledger.call("knn", len(sub_keys) + len(fallback))
+        ledger.tile("knn", "fallback(empty_halo)", len(fallback))
     with _span("probe", op="knn") as probe_sp:
         entries = _get_many(chain, sub_keys, "knn/tile")
         miss = [j for j, e in enumerate(entries) if e is None]
         probe_sp.count("probes", float(len(entries)))
         probe_sp.count("misses", float(len(miss)))
+    if ledger is not None:
+        _ledger_classify(
+            ledger, front, "knn",
+            ("knn", int(k), front.tile_size, front.halo, current_tenant()),
+            tile_ids, miss,
+        )
     with _span("execute", op="knn") as exec_sp:
         for j in miss:
             q_idx, hal = tiles[j]
@@ -202,6 +267,7 @@ def run_knn(front, chain, queries, references, k: int):
 def run_ball_query(front, chain, queries, references, radius: float, k: int):
     """Plan/probe/execute ball query; bit-identical to the per-tile front."""
     stats = front.stats()
+    ledger = current_ledger()
     wkey = whole_key(
         "ball_query", (queries, references),
         {"radius": float(radius), "k": int(k)},
@@ -210,6 +276,8 @@ def run_ball_query(front, chain, queries, references, radius: float, k: int):
         whole = chain.get(wkey, "ball_query/whole", copy=True)
     stats._count("ball_query/whole", whole is not None)
     if whole is not None:
+        if ledger is not None:
+            ledger.call("ball_query", 0, cause="probe_hit")
         return whole
     with _span("plan", op="ball_query") as plan_sp:
         qpart, rpart, r_cov = front._float_tiles(queries, references)
@@ -219,7 +287,7 @@ def run_ball_query(front, chain, queries, references, radius: float, k: int):
         rpart.digest_all()
         pre = _prefix(b"tile/ball", float(radius), int(k),
                       front.tile_size, front.halo)
-        tiles, sub_keys, fallback = [], [], []
+        tiles, sub_keys, fallback, tile_ids = [], [], [], []
         for i, key in enumerate(qpart.unique_keys.tolist()):
             q_idx = qpart.indices(key)
             halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
@@ -232,12 +300,25 @@ def run_ball_query(front, chain, queries, references, radius: float, k: int):
             _hash_part(h, perm)
             sub_keys.append(h.digest())
             tiles.append((q_idx, hal))
+            if ledger is not None:
+                tile_ids.append((key, _digest_bytes(q_digests[i]),
+                                 _digest_bytes(halo_digest)))
         plan_sp.count("tiles", float(len(sub_keys)))
+    if ledger is not None:
+        ledger.call("ball_query", len(sub_keys) + len(fallback))
+        ledger.tile("ball_query", "fallback(empty_halo)", len(fallback))
     with _span("probe", op="ball_query") as probe_sp:
         entries = _get_many(chain, sub_keys, "ball_query/tile")
         miss = [j for j, e in enumerate(entries) if e is None]
         probe_sp.count("probes", float(len(entries)))
         probe_sp.count("misses", float(len(miss)))
+    if ledger is not None:
+        _ledger_classify(
+            ledger, front, "ball_query",
+            ("ball_query", float(radius), int(k), front.tile_size,
+             front.halo, current_tenant()),
+            tile_ids, miss,
+        )
     with _span("execute", op="ball_query") as exec_sp:
         for j in miss:
             q_idx, hal = tiles[j]
@@ -512,10 +593,13 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
     with _span("probe", op=op, whole=True):
         whole = chain.get(wkey, op + "/whole", copy=False)
     stats._count(op + "/whole", whole is not None)
+    ledger = current_ledger()
     if whole is not None:
         # Composed MapTables are immutable by library convention, so the
         # stored object is returned outright — which also lets the MMU's
         # per-instance cache-replay memo carry across frames.
+        if ledger is not None:
+            ledger.call(op, 0, cause="probe_hit")
         return whole
     with _span("plan", op=op) as plan_sp:
         reach = int(np.abs(offsets_arr).max()) if len(offsets_arr) else 0
@@ -534,7 +618,11 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
         pre = _prefix(b"tile/kmap", algorithm, offsets_raw, int(side),
                       int(reach))
         keys_list = opart.unique_keys.tolist()
-        sub_keys, halos = [], []
+        # Out-tile content digests exist only for the miss diagnosis (the
+        # sub-key hashes the packed slice inline); batch-hashed and
+        # partition-memoized, and skipped entirely when no ledger is on.
+        o_digests = opart.digest_all() if ledger is not None else None
+        sub_keys, halos, tile_ids = [], [], []
         for i, key in enumerate(keys_list):
             halo_digest, hal = ipart.shell(key, reach)
             lo, hi = o_bounds[i], o_bounds[i + 1]
@@ -548,12 +636,24 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
             _hash_part(h, halo_digest)
             sub_keys.append(h.digest())
             halos.append(hal)
+            if ledger is not None:
+                tile_ids.append((key, _digest_bytes(o_digests[i]),
+                                 _digest_bytes(halo_digest)))
         plan_sp.count("tiles", float(len(sub_keys)))
+    if ledger is not None:
+        ledger.call(op, len(sub_keys))
     with _span("probe", op=op) as probe_sp:
         entries = _get_many(chain, sub_keys, op + "/tile")
         miss = [j for j, e in enumerate(entries) if e is None]
         probe_sp.count("probes", float(len(entries)))
         probe_sp.count("misses", float(len(miss)))
+    if ledger is not None:
+        _ledger_classify(
+            ledger, front, op,
+            (op, offsets_arr.tobytes(), int(side), int(reach),
+             in_coords.shape[1], current_tenant()),
+            tile_ids, miss,
+        )
     with _span("execute", op=op) as exec_sp:
         if miss:
             in_keys = ipart.point_keys()
@@ -612,6 +712,15 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
         splice_sp.count("splices", float(composer.splices - splices0))
         splice_sp.count("full_sorts", float(composer.full_sorts - sorts0))
         splice_sp.count("fallbacks", float(composer.fallbacks - fb0))
+        if ledger is not None:
+            # One compose -> one outcome; a certificate failure shows as
+            # both a fallback and a full sort, so check it first.
+            if composer.fallbacks > fb0:
+                ledger.splice(op, "fallback(certificate)")
+            elif composer.full_sorts > sorts0:
+                ledger.splice(op, "full_sort")
+            else:
+                ledger.splice(op, "spliced")
     table = MapTable(
         p_idx[order], q_idx[order], w_idx[order],
         kernel_volume=len(offsets_arr),
@@ -632,7 +741,10 @@ def run_voxelize(front, chain, points, voxel_size: float):
     with _span("probe", op="voxelize", whole=True):
         whole = chain.get(wkey, "voxelize/whole", copy=True)
     stats._count("voxelize/whole", whole is not None)
+    ledger = current_ledger()
     if whole is not None:
+        if ledger is not None:
+            ledger.call("voxelize", 0, cause="probe_hit")
         return whole
     with _span("plan", op="voxelize") as plan_sp:
         grid = np.floor(points / voxel_size).astype(np.int64)
@@ -642,17 +754,28 @@ def run_voxelize(front, chain, points, voxel_size: float):
         part = front._partition(grid, side)
         digests = part.digest_all()
         pre = _prefix(b"tile/voxelize", int(side))
-        sub_keys = []
-        for d in digests:
+        sub_keys, tile_ids = [], []
+        keys_list = part.unique_keys.tolist() if ledger is not None else None
+        for i, d in enumerate(digests):
             h = pre.copy()
             _hash_part(h, d)
             sub_keys.append(h.digest())
+            if ledger is not None:
+                tile_ids.append((keys_list[i], _digest_bytes(d), b""))
         plan_sp.count("tiles", float(len(sub_keys)))
+    if ledger is not None:
+        ledger.call("voxelize", len(sub_keys))
     with _span("probe", op="voxelize") as probe_sp:
         entries = _get_many(chain, sub_keys, "voxelize/tile")
         miss = [j for j, e in enumerate(entries) if e is None]
         probe_sp.count("probes", float(len(entries)))
         probe_sp.count("misses", float(len(miss)))
+    if ledger is not None:
+        _ledger_classify(
+            ledger, front, "voxelize",
+            ("voxelize", float(voxel_size), int(side), current_tenant()),
+            tile_ids, miss,
+        )
     with _span("execute", op="voxelize") as exec_sp:
         if miss:
             pkeys = part.point_keys()

@@ -1,6 +1,7 @@
 """scripts/bench_compare.py: payload diffing and the CI exit contract."""
 
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -20,10 +21,11 @@ def _write(tmp_path, name, payload):
     return str(path)
 
 
-def _run(*argv):
+def _run(*argv, env=None):
+    merged = dict(os.environ, **env) if env else None
     return subprocess.run(
         [sys.executable, str(SCRIPT), *argv],
-        capture_output=True, text=True,
+        capture_output=True, text=True, env=merged,
     )
 
 
@@ -79,6 +81,85 @@ class TestFormatGuards:
         bad.write_text("not json {")
         cand = _write(tmp_path, "b.json", _payload(3.0))
         assert _run(str(bad), cand).returncode == 2
+
+
+class TestRecordIdempotence:
+    SHA = "feedface" * 5
+
+    def test_duplicate_label_and_commit_skipped(self, tmp_path):
+        """A re-run CI job cannot double-append: the second --record of
+        the same (command, label, commit) is a no-op with a note."""
+        payload = _write(tmp_path, "a.json", _payload(3.0))
+        traj = str(tmp_path / "TRAJECTORY.json")
+        env = {"GITHUB_SHA": self.SHA}
+        first = _run("--record", payload, "--trajectory", traj,
+                     "--label", "pr9", env=env)
+        assert first.returncode == 0, first.stderr
+        assert "recorded bench-stream" in first.stdout
+        second = _run("--record", payload, "--trajectory", traj,
+                      "--label", "pr9", env=env)
+        assert second.returncode == 0, second.stderr
+        assert "skipping duplicate" in second.stdout
+        entries = json.loads(pathlib.Path(traj).read_text())["entries"]
+        assert len(entries) == 1
+        assert entries[0]["commit"] == self.SHA
+
+    def test_different_label_same_commit_appends(self, tmp_path):
+        payload = _write(tmp_path, "a.json", _payload(3.0))
+        traj = str(tmp_path / "TRAJECTORY.json")
+        env = {"GITHUB_SHA": self.SHA}
+        assert _run("--record", payload, "--trajectory", traj,
+                    "--label", "pr9", env=env).returncode == 0
+        assert _run("--record", payload, "--trajectory", traj,
+                    "--label", "pr10", env=env).returncode == 0
+        entries = json.loads(pathlib.Path(traj).read_text())["entries"]
+        assert [e["label"] for e in entries] == ["pr9", "pr10"]
+
+
+def _trace(tmp_path, name, splice_ms):
+    """A minimal one-root trace file with a splice child of known cost."""
+    root = {"name": "request", "dur_ms": 10.0 + splice_ms, "attrs": {},
+            "children": [{"name": "splice", "dur_ms": splice_ms,
+                          "children": []}]}
+    path = tmp_path / name
+    path.write_text(json.dumps(root) + "\n")
+    return str(path)
+
+
+class TestPhaseAttribution:
+    def test_missing_trace_skips_without_failing(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(3.5))
+        result = _run(base, cand,
+                      "--baseline-trace", str(tmp_path / "missing.jsonl"),
+                      "--candidate-trace", str(tmp_path / "missing.jsonl"))
+        assert result.returncode == 0, result.stderr
+        assert "skipping phase attribution" in result.stdout
+
+    def test_attribution_names_the_phase_and_writes_json(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(3.5))
+        base_trace = _trace(tmp_path, "base.jsonl", splice_ms=10.0)
+        cand_trace = _trace(tmp_path, "cand.jsonl", splice_ms=25.0)
+        out = tmp_path / "TRACE_DIFF.json"
+        result = _run(base, cand,
+                      "--baseline-trace", base_trace,
+                      "--candidate-trace", cand_trace,
+                      "--attribution-out", str(out))
+        assert result.returncode == 0, result.stderr
+        assert "attribution: splice self-time +150.0%" in result.stdout
+        verdict = json.loads(out.read_text())
+        assert verdict["top_phase"] == "splice"
+        assert verdict["phases"][0]["delta_ms"] == pytest.approx(15.0)
+
+    def test_attribution_never_masks_a_regression(self, tmp_path):
+        base = _write(tmp_path, "a.json", _payload(3.0))
+        cand = _write(tmp_path, "b.json", _payload(2.0))
+        trace = _trace(tmp_path, "t.jsonl", splice_ms=10.0)
+        result = _run(base, cand, "--baseline-trace", trace,
+                      "--candidate-trace", trace)
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stderr
 
 
 class TestRealPayloads:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -252,6 +254,54 @@ class TestCommands:
 
     def test_trace_report_missing_file_exits_2(self, capsys):
         assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_report_empty_file_exits_0(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 0
+        assert "empty (no spans)" in capsys.readouterr().out
+
+    def test_trace_report_skips_malformed_lines(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        dirty = tmp_path / "dirty.jsonl"
+        dirty.write_text("garbage {\n" + trace.read_text() + "[]\n")
+        assert main(["trace-report", str(dirty)]) == 0
+        out = capsys.readouterr().out
+        assert "warning: skipped 2 malformed line(s)" in out
+        assert "phase" in out  # the good lines still produce the report
+
+    def test_trace_report_joins_ledger_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--trace", str(trace), "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace),
+                     "--ledger-file", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "top recompute causes:" in out
+        assert "recompute(cold)" in out
+        assert "recomputed tiles:" in out  # the per-slow-frame join
+
+    def test_trace_diff_cli_self_diff(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["serve-stream", "--frames", "2", "--scale", "0.12",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        out_json = tmp_path / "diff.json"
+        assert main(["trace-diff", str(trace), str(trace),
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: no self-time delta" in out
+        assert json.loads(out_json.read_text())["total_delta_ms"] == 0.0
+
+    def test_trace_diff_missing_file_exits_2(self, capsys):
+        assert main(["trace-diff", "/nonexistent/a.jsonl",
+                     "/nonexistent/b.jsonl"]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_serve_fleet(self, capsys):
