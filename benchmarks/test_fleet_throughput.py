@@ -83,9 +83,28 @@ def _run_solo(specs, scale):
     return results, time.perf_counter() - t0
 
 
-def _run_fleet(specs, batched=True):
-    fleet = FleetSession(specs, n_shards=1, voxel_tile=VOXEL_TILE, l2=None,
-                         batched_tiles=batched)
+def _run_fleet(specs, oracle=False):
+    if oracle:
+        # The retired per-tile arm: the oracle no longer serves, so it is
+        # injected as a pre-built cluster mirroring the session-built one
+        # (same shard count, shared WorldTileStore-wrapped front).
+        from repro.cluster.cluster import EngineCluster
+        from repro.fleet import WorldTileStore
+        from repro.stream.incremental import PerTileOracle
+        from repro.stream.pipeline import streaming_map_cache
+
+        front = WorldTileStore(PerTileOracle(
+            voxel_tile=VOXEL_TILE,
+            compose_records=max(4, len(specs) + 2),
+        ))
+        cluster = EngineCluster(
+            n_shards=1, backends=("pointacc",), l2=None,
+            tile_cache=front, map_cache=streaming_map_cache,
+        )
+        fleet = FleetSession(specs, cluster=cluster)
+    else:
+        fleet = FleetSession(specs, n_shards=1, voxel_tile=VOXEL_TILE,
+                             l2=None)
     t0 = time.perf_counter()
     results = fleet.run()
     return fleet, results, time.perf_counter() - t0
@@ -110,7 +129,7 @@ def test_fleet_sharing_vs_per_stream_caching(scale):
         solo_times.append(solo_s)
         fleet, fleet_results, fleet_s = _run_fleet(specs)
         fleet_times.append(fleet_s)
-        _, _, per_tile_s = _run_fleet(specs, batched=False)
+        _, _, per_tile_s = _run_fleet(specs, oracle=True)
         per_tile_times.append(per_tile_s)
 
     # Bit-identity: the fleet may never change a stream's results.

@@ -1,0 +1,166 @@
+"""Shell-assembly microbench: whole-partition sweeps vs the per-tile walk.
+
+Two microbenchmarks isolate the two mechanisms the vectorized front PR
+paid for, each floored against the retired per-tile oracle on the same
+inputs:
+
+``test_vectorized_shell_assembly_beats_per_tile_walk``
+    Cold shell assembly on a small-tile partition (a few points per
+    tile, thousands of occupied tiles — the regime where the per-tile
+    walk is pure Python overhead).  One
+    :meth:`~repro.stream.tiles.TilePartition.fill_shells` sweep must
+    beat calling :meth:`~repro.stream.tiles.TilePartition.shell` per
+    occupied tile, with element-identical canonical index arrays.
+
+``test_warm_voxelize_compose_beats_per_tile_remerge``
+    Warm voxelize on a stream step, again in the small-tile regime:
+    both fronts are warmed on frame A, then timed serving frame B
+    (same cloud, one corner's points replaced).  The planner splices
+    the surviving sorted runs around the recomputed tiles
+    (:class:`~repro.stream.plan.VoxelComposer`); the oracle re-walks
+    every tile and re-merges from scratch — the exact full re-argsort
+    the composer retires.
+
+Both are wall-clock microbenches: interleaved repeats, compared
+min-to-min (noise only ever adds time), tables printed but never
+archived.
+"""
+
+import time
+
+import numpy as np
+
+from repro.engine import MapCache
+from repro.experiments.common import ExperimentResult
+from repro.mapping.hooks import TieredLookup, use_map_cache
+from repro.pointcloud.coords import voxelize
+from repro.stream import TileMapCache
+from repro.stream.incremental import PerTileOracle
+from repro.stream.tiles import TilePartition
+
+ASSEMBLY_SPEEDUP_FLOOR = 2.0
+COMPOSE_SPEEDUP_FLOOR = 1.3
+REPEATS = 3
+
+
+def test_vectorized_shell_assembly_beats_per_tile_walk():
+    rng = np.random.default_rng(11)
+    coords = np.unique(rng.integers(0, 160, (30000, 3), dtype=np.int64),
+                       axis=0)
+    voxel_tile, reach = 8, 1
+
+    # Exactness first: the sweep must hand back the oracle's canonical
+    # index arrays element-for-element, tile by tile.
+    part = TilePartition(coords, voxel_tile)
+    digests, flat, bounds = part.fill_shells(reach)
+    keys = list(part.keys())
+    for i, key in enumerate(keys):
+        _, canonical = part.shell(key, reach)
+        assert np.array_equal(flat[bounds[i]:bounds[i + 1]], canonical)
+
+    vec_times, walk_times = [], []
+    n_tiles = len(keys)
+    for _ in range(REPEATS):
+        # Fresh partitions each repeat: both paths memoize, so timing a
+        # second call on the same object would measure a dict lookup.
+        vec = TilePartition(coords, voxel_tile)
+        t0 = time.perf_counter()
+        vec.fill_shells(reach)
+        vec_times.append(time.perf_counter() - t0)
+
+        walk = TilePartition(coords, voxel_tile)
+        t0 = time.perf_counter()
+        for key in walk.keys():
+            walk.shell(key, reach)
+        walk_times.append(time.perf_counter() - t0)
+    vec_s, walk_s = min(vec_times), min(walk_times)
+
+    speedup = walk_s / vec_s
+    density = len(coords) / n_tiles
+    rows = [
+        ["per-tile shell() walk", f"{walk_s * 1e3:.1f}",
+         f"{n_tiles / walk_s:.0f}"],
+        ["fill_shells() sweep", f"{vec_s * 1e3:.1f}",
+         f"{n_tiles / vec_s:.0f}"],
+    ]
+    print("\n" + ExperimentResult(
+        experiment_id="bench-shell-assembly",
+        title=(f"Shell assembly over {n_tiles} tiles at {density:.1f} "
+               f"points/tile: {speedup:.1f}x"),
+        headers=["mode", "wall ms", "tiles/s"],
+        rows=rows,
+        data={"speedup": speedup, "tiles": n_tiles},
+    ).table())
+
+    assert speedup >= ASSEMBLY_SPEEDUP_FLOOR, (
+        f"vectorized shell assembly only {speedup:.2f}x over the per-tile "
+        f"walk (floor {ASSEMBLY_SPEEDUP_FLOOR}x; walk {walk_s * 1e3:.1f} ms "
+        f"vs sweep {vec_s * 1e3:.1f} ms)"
+    )
+
+
+def test_warm_voxelize_compose_beats_per_tile_remerge():
+    rng = np.random.default_rng(12)
+    pts_a = rng.uniform(0, 48, (60000, 3))
+    # Frame B: one corner's returns replaced — every other tile's sorted
+    # run survives verbatim, which is exactly what the splice path reuses.
+    corner = np.all(pts_a < 8.0, axis=1)
+    pts_b = np.concatenate([
+        pts_a[~corner],
+        rng.uniform(0, 8.0, (int(corner.sum()), 3)),
+    ])
+    voxel_size, voxel_tile = 0.1, 8
+
+    def front_chain(oracle):
+        cls = PerTileOracle if oracle else TileMapCache
+        front = cls(min_points=1, voxel_tile=voxel_tile)
+        chain = TieredLookup([MapCache(max_entries=1 << 15)], front=front)
+        return front, chain
+
+    def serve_b(oracle):
+        front, chain = front_chain(oracle)
+        with use_map_cache(chain):
+            voxelize(pts_a, voxel_size)           # warm (untimed)
+            t0 = time.perf_counter()
+            got = voxelize(pts_b, voxel_size)
+            elapsed = time.perf_counter() - t0
+        return elapsed, got, front
+
+    planner_times, oracle_times = [], []
+    planner_got = oracle_got = planner_front = None
+    for _ in range(REPEATS):
+        oracle_s, oracle_got, _ = serve_b(True)
+        oracle_times.append(oracle_s)
+        planner_s, planner_got, planner_front = serve_b(False)
+        planner_times.append(planner_s)
+    planner_s, oracle_s = min(planner_times), min(oracle_times)
+
+    expect = voxelize(pts_b, voxel_size)
+    for a, b, name in ((planner_got, expect, "planner"),
+                       (oracle_got, expect, "oracle")):
+        assert np.array_equal(a[0], b[0]), f"{name} changed voxel coords"
+        assert np.array_equal(a[1], b[1]), f"{name} changed voxel index map"
+
+    compose = planner_front.stats().snapshot()["vox_compose"]
+    speedup = oracle_s / planner_s
+    rows = [
+        ["per-tile remerge (oracle)", f"{oracle_s * 1e3:.1f}", "-"],
+        ["delta-spliced compose", f"{planner_s * 1e3:.1f}",
+         f"{compose['splices']}/{compose['full_merges']}"],
+    ]
+    print("\n" + ExperimentResult(
+        experiment_id="bench-voxelize-compose",
+        title=(f"Warm voxelize on a one-corner delta "
+               f"({len(pts_b)} pts): {speedup:.2f}x"),
+        headers=["mode", "wall ms", "splices/full merges"],
+        rows=rows,
+        data={"speedup": speedup, "compose": compose},
+    ).table())
+
+    # The win must come through the splice path, not a lucky full merge.
+    assert compose["splices"] > 0, "warm serve never spliced"
+    assert speedup >= COMPOSE_SPEEDUP_FLOOR, (
+        f"spliced voxelize compose only {speedup:.2f}x over the per-tile "
+        f"remerge (floor {COMPOSE_SPEEDUP_FLOOR}x; oracle "
+        f"{oracle_s * 1e3:.1f} ms vs planner {planner_s * 1e3:.1f} ms)"
+    )

@@ -866,8 +866,18 @@ def _fleet_specs(args) -> list[StreamSpec]:
     return specs
 
 
+def _reject_no_batch(args) -> None:
+    if getattr(args, "no_batch", False):
+        raise CLIError(
+            "--no-batch was removed: the per-tile front no longer serves "
+            "traffic (it survives as repro.stream.incremental.PerTileOracle "
+            "for property tests and ablation benchmarks)"
+        )
+
+
 def _build_fleet_session(args) -> FleetSession:
     """Shared serve-fleet / bench-fleet session construction."""
+    _reject_no_batch(args)
     return FleetSession(
         _fleet_specs(args),
         backends=_parse_backends(args.backends),
@@ -875,7 +885,6 @@ def _build_fleet_session(args) -> FleetSession:
         tile_size=args.tile_size,
         halo=args.halo,
         min_points_per_tile=args.min_tile_points,
-        batched_tiles=not args.no_batch,
         use_tiles=not args.no_tiles,
         share_world_tiles=not args.no_share,
         workers=args.workers,
@@ -970,7 +979,6 @@ def cmd_bench_fleet(args) -> int:
             spec.sequence, spec.benchmark, backends=backends,
             scale=spec.scale, tile_size=args.tile_size, halo=args.halo,
             min_points_per_tile=args.min_tile_points,
-            batched_tiles=not args.no_batch,
             use_tiles=not args.no_tiles, tenant=spec.name,
         )
         for spec in specs
@@ -1033,6 +1041,7 @@ def cmd_bench_fleet(args) -> int:
 
 def _build_stream_session(args) -> StreamSession:
     """Shared serve-stream / bench-stream session construction."""
+    _reject_no_batch(args)
     if args.workers > 0 and args.shards < 1:
         raise ValueError("--workers requires a cluster (--shards > 0)")
     sequence = FrameSequence(SequenceConfig(
@@ -1057,7 +1066,6 @@ def _build_stream_session(args) -> StreamSession:
                 TileMapCache(
                     tile_size=args.tile_size, halo=args.halo,
                     min_points_per_tile=args.min_tile_points,
-                    batched=not args.no_batch,
                 )
                 if not args.no_tiles else None
             ),
@@ -1073,7 +1081,6 @@ def _build_stream_session(args) -> StreamSession:
         tile_size=args.tile_size,
         halo=args.halo,
         min_points_per_tile=args.min_tile_points,
-        batched_tiles=not args.no_batch,
         use_tiles=not args.no_tiles,
         deadline_ms=args.deadline_ms,
         period_ms=args.period_ms,
@@ -1221,8 +1228,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "when a cloud has fewer than this many points "
                             "per occupied tile (0 = off)")
         p.add_argument("--no-batch", action="store_true",
-                       help="use the per-tile front instead of the batched "
-                            "planner (ablation)")
+                       help="removed: the per-tile front no longer serves "
+                            "traffic (passing this flag is an error)")
         p.add_argument("--backends", default="pointacc")
         p.add_argument("--shards", type=int, default=0,
                        help="> 0 serves through an engine cluster")
@@ -1278,8 +1285,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "when a cloud has fewer than this many points "
                             "per occupied tile (0 = off)")
         p.add_argument("--no-batch", action="store_true",
-                       help="use the per-tile front instead of the batched "
-                            "planner (ablation)")
+                       help="removed: the per-tile front no longer serves "
+                            "traffic (passing this flag is an error)")
         p.add_argument("--no-share", action="store_true",
                        help="drop the WorldTileStore attribution front")
         p.add_argument("--backends", default="pointacc")

@@ -129,11 +129,13 @@ class FleetSession:
         through the shared chain (content keys carry no stream identity),
         but hits are not attributed self/cross.
     tile_size / halo / voxel_tile / min_points / min_points_per_tile /
-    use_tiles / incremental_voxelize / batched_tiles:
+    use_tiles / incremental_voxelize:
         Tile-front configuration for the session-built executor, as in
         :class:`~repro.stream.StreamSession` (``min_points_per_tile`` is
-        the small-cloud density bypass, ``batched_tiles=False`` the
-        per-tile reference front).
+        the small-cloud density bypass).  The per-tile serving mode is
+        retired; inject an executor built around
+        :class:`~repro.stream.incremental.PerTileOracle` to benchmark
+        against the reference front.
     geometry_only:
         ``"auto"`` (default) enables geometry-only execution per stream
         exactly for SparseConv-family networks; booleans force it
@@ -177,7 +179,6 @@ class FleetSession:
         min_points_per_tile: int = 0,
         use_tiles: bool = True,
         incremental_voxelize: bool = True,
-        batched_tiles: bool = True,
         share_world_tiles: bool = True,
         geometry_only: bool | str = "auto",
         cache_dir=None,
@@ -228,7 +229,6 @@ class FleetSession:
                     min_points=min_points,
                     min_points_per_tile=min_points_per_tile,
                     incremental_voxelize=incremental_voxelize,
-                    batched=batched_tiles,
                     # Rounds interleave every stream through one shared
                     # composer: it must remember at least one composition
                     # per stream per family or the delta splice starves.

@@ -136,7 +136,7 @@ class RecomputeLedger:
         self._emit("call", op=op, cause=cause, tiles=int(tiles))
 
     def splice(self, op: str, outcome: str) -> None:
-        """Record one kernel-map compose outcome."""
+        """Record one compose outcome (kernel-map or voxelize splice)."""
         self.splice_outcomes[outcome] += 1
         self._emit("splice", op=op, outcome=outcome)
 

@@ -65,15 +65,17 @@ Everything else — FPS is inherently global and sequential, DGCNN's
 feature-space graphs have no spatial tiles — falls through to the chain's
 whole-content digest path untouched.
 
-Two execution modes share these contracts: the default *batched* mode
-routes every decomposed call through the plan/probe/execute/splice
-pipeline in :mod:`repro.stream.plan` (vectorized digesting, one
-``get_many`` chain round trip, delta-composed kernel maps), while
-``batched=False`` keeps the original per-tile loops below as the
-reference implementation.  Both modes produce byte-identical sub-keys,
-so they share one cache universe, and bit-identical results, which
-``tests/properties/test_prop_plan.py`` enforces against each other and
-against the cold oracle.
+Serving routes every decomposed call through the plan/probe/execute/
+splice pipeline in :mod:`repro.stream.plan` (vectorized digesting, one
+``get_many`` chain round trip, delta-composed kernel maps and voxel
+merges) under *versioned fixed-width* sub-keys.  The original per-tile
+loops survive as :class:`PerTileOracle` — no longer a serving mode but
+the independent reference implementation the property suite
+(``tests/properties/test_prop_plan.py``) proves the planner bit-identical
+against.  The oracle keeps its legacy variable-width ``content_digest``
+keys, which are 16 bytes and therefore provably disjoint from the
+planner's longer versioned keys: the two implementations can share a
+cache chain without ever serving each other's entries.
 
 A note on floating point: tile-local distance matrices are computed by the
 same :func:`~repro.pointcloud.coords.pairwise_squared_distance` formula on
@@ -104,7 +106,7 @@ from ..pointcloud.coords import coords_to_keys, keys_to_coords
 from . import plan as _plan
 from .tiles import TilePartition, content_digest
 
-__all__ = ["TileFrontStats", "TileMapCache"]
+__all__ = ["PerTileOracle", "TileFrontStats", "TileMapCache"]
 
 _KERNEL_PREFIX = "kernel_map/"
 
@@ -120,9 +122,9 @@ class TileFrontStats:
     tile-local answers.  ``decomposed_calls`` is how many whole-op calls
     the front handled at all; ``bypassed_calls`` how many it declined
     because the cloud fell under the ``min_points_per_tile`` density
-    floor.  When the batched front is active the snapshot also carries
-    the kernel-map composer's splice/full-sort/fallback counters under
-    ``compose``.
+    floor.  The serving front's snapshot also carries the kernel-map
+    composer's splice/full-sort/fallback counters under ``compose`` and
+    the voxel merge composer's under ``vox_compose``.
     """
 
     def __init__(self) -> None:
@@ -171,6 +173,9 @@ class TileFrontStats:
         composer = getattr(self, "_composer", None)
         if composer is not None:
             out["compose"] = composer.snapshot()
+        vox = getattr(self, "_vox_composer", None)
+        if vox is not None:
+            out["vox_compose"] = vox.snapshot()
         return out
 
 
@@ -209,17 +214,17 @@ class TileMapCache:
         Decompose ``voxelize`` calls over grid tiles (default).  ``False``
         sends voxelization down the whole-content digest path — the
         pre-incremental behaviour, kept as an ablation/bisection knob.
-    batched:
-        Use the plan/probe/execute/splice pipeline (:mod:`repro.stream.
-        plan`) — the default.  ``False`` keeps the PR-4 per-tile loops:
-        same sub-keys, same results, one chain walk per tile — retained
-        as the reference implementation the property suite compares
-        against and the baseline the throughput benchmark beats.
     compose_records:
-        Remembered compositions per kernel-map family in the delta
-        composer.  A shared front must hold at least one record per
-        interleaved stream or splicing degrades to full sorts — the
-        fleet session sizes this to its stream count automatically.
+        Remembered compositions per family in the delta composers (the
+        kernel-map row-order composer and the voxel merge composer).  A
+        shared front must hold at least one record per interleaved stream
+        or splicing degrades to full sorts/merges — the fleet session
+        sizes this to its stream count automatically.
+
+    The retired ``batched=False`` serving mode lives on as
+    :class:`PerTileOracle`: same decomposition walked one tile at a time
+    under the legacy 16-byte keys, importable for property tests and
+    ablation benchmarks only.
     """
 
     def __init__(
@@ -230,7 +235,6 @@ class TileMapCache:
         min_points: int = 256,
         min_points_per_tile: int = 0,
         incremental_voxelize: bool = True,
-        batched: bool = True,
         compose_records: int = 4,
     ) -> None:
         if tile_size <= 0:
@@ -253,13 +257,15 @@ class TileMapCache:
         self.min_points = int(min_points)
         self.min_points_per_tile = int(min_points_per_tile)
         self.incremental_voxelize = bool(incremental_voxelize)
-        self.batched = bool(batched)
         self._composer = _plan.KernelComposer(
             max_records_per_family=compose_records
         )
+        self._vox_composer = _plan.VoxelComposer(
+            max_records_per_family=compose_records
+        )
         self._stats = TileFrontStats()
-        if self.batched:
-            self._stats._composer = self._composer
+        self._stats._composer = self._composer
+        self._stats._vox_composer = self._vox_composer
         # (id(points), size) -> (points, TilePartition): mapping inputs are
         # immutable by library convention (see repro.pointcloud.cloud), and
         # one frame presents the same coordinate array to many layers —
@@ -346,34 +352,24 @@ class TileMapCache:
 
     def memoize(self, op: str, arrays, params: dict, compute, chain):
         try:
-            if self.batched:
-                self._stats.decomposed_calls += 1
-                with _span("front", op=op):
-                    if op == "knn":
-                        return _plan.run_knn(
-                            self, chain, arrays[0], arrays[1], params["k"]
-                        )
-                    if op == "ball_query":
-                        return _plan.run_ball_query(
-                            self, chain, arrays[0], arrays[1],
-                            params["radius"], params["k"],
-                        )
-                    if op == "voxelize":
-                        return _plan.run_voxelize(
-                            self, chain, arrays[0], params["voxel_size"]
-                        )
-                    return _plan.run_kernel_map(
-                        self, chain, op, arrays[0], arrays[1], arrays[2]
+            self._stats.decomposed_calls += 1
+            with _span("front", op=op):
+                if op == "knn":
+                    return _plan.run_knn(
+                        self, chain, arrays[0], arrays[1], params["k"]
                     )
-            if op == "knn":
-                return self._memo_knn(arrays[0], arrays[1], params["k"], chain)
-            if op == "ball_query":
-                return self._memo_ball(
-                    arrays[0], arrays[1], params["radius"], params["k"], chain
+                if op == "ball_query":
+                    return _plan.run_ball_query(
+                        self, chain, arrays[0], arrays[1],
+                        params["radius"], params["k"],
+                    )
+                if op == "voxelize":
+                    return _plan.run_voxelize(
+                        self, chain, arrays[0], params["voxel_size"]
+                    )
+                return _plan.run_kernel_map(
+                    self, chain, op, arrays[0], arrays[1], arrays[2]
                 )
-            if op == "voxelize":
-                return self._memo_voxelize(arrays[0], params["voxel_size"], chain)
-            return self._memo_kernel_map(op, arrays[0], arrays[1], arrays[2], chain)
         except ValueError:
             # Untileable geometry (e.g. coordinates beyond the packable
             # tile-key range).  Caching may never change a result — so
@@ -381,7 +377,7 @@ class TileMapCache:
             return compute()
 
     # ------------------------------------------------------------------
-    # kNN / ball query: float coordinates, per-row certificates
+    # Shared partition plumbing (planner and oracle)
     # ------------------------------------------------------------------
 
     def _partition(self, points, size) -> TilePartition:
@@ -418,6 +414,41 @@ class TileMapCache:
         rpart = self._partition(references, self.tile_size)
         r_cov = self.halo * self.tile_size
         return qpart, rpart, r_cov
+
+
+class PerTileOracle(TileMapCache):
+    """The retired per-tile front, kept as the property-test oracle.
+
+    One chain walk per tile under the legacy variable-width
+    ``content_digest`` keys — the PR-4 serving path, byte-for-byte.  It
+    no longer serves traffic: the batched planner (:mod:`repro.stream.
+    plan`) produces identical arrays from the same decomposition, and
+    the property suite proves it against *this* class.  Because the
+    batched universe carries a versioned fixed-width prefix, oracle keys
+    and planner keys can never collide even in a shared store.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # The oracle never splices; composer-backed snapshot sections
+        # would claim machinery these loops do not touch.
+        self._stats._composer = None
+        self._stats._vox_composer = None
+
+    def memoize(self, op: str, arrays, params: dict, compute, chain):
+        try:
+            if op == "knn":
+                return self._memo_knn(arrays[0], arrays[1], params["k"], chain)
+            if op == "ball_query":
+                return self._memo_ball(
+                    arrays[0], arrays[1], params["radius"], params["k"], chain
+                )
+            if op == "voxelize":
+                return self._memo_voxelize(arrays[0], params["voxel_size"], chain)
+            return self._memo_kernel_map(op, arrays[0], arrays[1], arrays[2], chain)
+        except ValueError:
+            # Untileable geometry: compute plainly, as the planner does.
+            return compute()
 
     def _halo_sorted(self, rpart, key):
         """``(halo_digest, interleave_perm, hal)`` for one query tile.

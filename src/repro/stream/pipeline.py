@@ -131,11 +131,12 @@ class StreamSession:
         when an executor is injected — configure that executor instead).
         ``incremental_voxelize`` toggles the tile-decomposed voxelizer
         (on by default; off = whole-content digest voxelization).
-    min_points_per_tile / batched_tiles:
-        The small-cloud density bypass and the plan/execute pipeline
-        toggle, passed straight to :class:`~repro.stream.incremental.
-        TileMapCache` (``batched_tiles=False`` = the per-tile reference
-        front).
+    min_points_per_tile:
+        The small-cloud density bypass, passed straight to
+        :class:`~repro.stream.incremental.TileMapCache`.  (The per-tile
+        serving mode is retired; to benchmark against the reference
+        front, inject an ``engine=`` built around
+        :class:`~repro.stream.incremental.PerTileOracle`.)
     tenant:
         The QoS/attribution identity stamped on every frame request
         (default ``"stream"``).  Fleet serving (:mod:`repro.fleet`) gives
@@ -169,7 +170,6 @@ class StreamSession:
         min_points_per_tile: int = 0,
         use_tiles: bool = True,
         incremental_voxelize: bool = True,
-        batched_tiles: bool = True,
         tenant: str = "stream",
         geometry_only: bool | str = "auto",
         deadline_ms: float | None = None,
@@ -201,7 +201,6 @@ class StreamSession:
                     voxel_tile=voxel_tile, min_points=min_points,
                     min_points_per_tile=min_points_per_tile,
                     incremental_voxelize=incremental_voxelize,
-                    batched=batched_tiles,
                 )
                 if use_tiles
                 else None

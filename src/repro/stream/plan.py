@@ -11,10 +11,15 @@ same bit-identity contracts, restructured into four phases:
 ``plan``
     One pass builds every tile's probe: digests come from
     :meth:`~repro.stream.tiles.TilePartition.digest_all` (packed-buffer
-    batch hashing), shells from
-    :meth:`~repro.stream.tiles.TilePartition.fill_slabs` (six vectorized
-    face sweeps), and sub-keys from a copied hash prefix — byte-identical
-    to the per-tile front's keys, so both paths share one cache universe.
+    batch hashing), shells and neighborhoods from the whole-partition
+    sweeps (:meth:`~repro.stream.tiles.TilePartition.fill_shells` /
+    ``fill_neighborhoods`` — stacked fixed-width digest matrices, slab
+    indices gathered via precomputed run tables), and sub-keys by raw
+    concatenation of a *versioned* prefix with the per-tile component
+    digests — fixed width per op, no per-tile key hashing at all.  The
+    version tag (:data:`_KEY_VERSION`) keeps this cache universe provably
+    disjoint from the legacy per-tile oracle's variable-width 16-byte
+    ``content_digest`` keys: every serving key is longer than 16 bytes.
 
 ``probe``
     One ``get_many`` round trip through the chain
@@ -40,9 +45,17 @@ same bit-identity contracts, restructured into four phases:
     exactness-contract shape as the kNN certificates and the voxelizer's
     structural checks.
 
+    Voxelize composes by delta too (:class:`VoxelComposer`): per-tile
+    sorted-unique voxel runs are disjoint, so the merged order of a frame
+    sharing most tiles with a remembered one splices the changed tiles'
+    runs into the survivors' previous order — a K-way run merge guarded
+    by a strict key-increase certificate — instead of re-argsorting every
+    unique key per call.
+
 Every entry point here is called by :class:`~repro.stream.incremental.
-TileMapCache` when ``batched=True`` (the default); ``batched=False`` keeps
-the per-tile loops as the reference implementation and ablation baseline.
+TileMapCache`, the only serving front.  The retired per-tile loops
+survive as :class:`~repro.stream.incremental.PerTileOracle` — the cold
+reference the property suite compares against, not a serving mode.
 """
 
 from __future__ import annotations
@@ -61,13 +74,13 @@ from ..mapping.maps import MapTable
 from ..pointcloud.coords import _KEY_OFFSET, keys_to_coords
 from .tiles import (
     _DIGEST_SIZE,
-    _dtype_tag,
     hash_part as _hash_part,
     offset_key_deltas,
 )
 
 __all__ = [
     "KernelComposer",
+    "VoxelComposer",
     "run_ball_query",
     "run_kernel_map",
     "run_knn",
@@ -77,29 +90,39 @@ __all__ = [
 
 _KERNEL_PREFIX = "kernel_map/"
 
+#: Tile cache-universe version tag.  Every serving sub-key starts with it,
+#: so a format change only has to bump the tag to retire the old universe;
+#: and because it makes every key longer than the 16-byte digests the
+#: legacy per-tile oracle (and every whole-call probe) uses, new-format
+#: and legacy keys can never collide.
+_KEY_VERSION = b"T2"
+
 
 # ----------------------------------------------------------------------
-# Hashing: byte-identical to tiles.content_digest, with prefix reuse
+# Keys: versioned fixed-width tile keys + legacy-format whole-call probes
 # ----------------------------------------------------------------------
 
 
-def _prefix(*parts):
-    """A reusable BLAKE2b state over the call-constant key parts.
+def _key_prefix(*parts) -> bytes:
+    """The call-constant prefix of one op's fixed-width tile sub-keys.
 
-    Copying this state per tile replaces re-hashing the constant parts
-    (op tag, parameters, the offsets array) once per tile — and keeps the
-    resulting sub-keys byte-identical to the per-tile front's, so both
-    modes hit each other's cache entries.
+    ``_KEY_VERSION`` + one digest over the version tag, the op tag and
+    the parameters.  A tile's sub-key is this prefix concatenated with
+    its 16-byte component digests — assembling a key is pure byte
+    concatenation, hashed parts are hashed exactly once per call.
     """
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    _hash_part(h, _KEY_VERSION)
     for part in parts:
         _hash_part(h, part)
-    return h
+    return _KEY_VERSION + h.digest()
 
 
 def whole_key(op: str, arrays, params: dict) -> bytes:
     """Content key of one whole mapping call (the plan path's L0 probe)."""
-    h = _prefix(b"tile/whole", op)
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    _hash_part(h, b"tile/whole")
+    _hash_part(h, op)
     for arr in arrays:
         _hash_part(h, np.asarray(arr))
     for name in sorted(params):
@@ -129,10 +152,6 @@ def _put_many(chain, keys, values, op: str) -> None:
 #: Spatial keys remembered per (op, params, tenant) family before the
 #: diagnosis memory resets to cold (bounds a long drive's footprint).
 _LEDGER_MEMORY_LIMIT = 65536
-
-
-def _digest_bytes(value) -> bytes:
-    return value if isinstance(value, bytes) else bytes(value)
 
 
 def _ledger_classify(ledger, front, op, family, tile_ids, miss) -> None:
@@ -192,24 +211,22 @@ def run_knn(front, chain, queries, references, k: int):
         qpart, rpart, r_cov = front._float_tiles(queries, references)
         r_cov2 = r_cov * r_cov
         q_digests = qpart.digest_all()
-        rpart.digest_all()
-        pre = _prefix(b"tile/knn", int(k), front.tile_size, front.halo)
+        pre = _key_prefix(b"tile/knn", int(k), front.tile_size, front.halo)
+        n_digests, n_flat, n_bounds = rpart.fill_neighborhoods(
+            front.halo, qpart.unique_keys
+        )
         tiles, sub_keys, fallback, tile_ids = [], [], [], []
         for i, key in enumerate(qpart.unique_keys.tolist()):
             q_idx = qpart.indices(key)
-            halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
-            if len(hal) == 0:
+            canonical = n_flat[n_bounds[i]:n_bounds[i + 1]]
+            if len(canonical) == 0:
                 fallback.append(q_idx)
                 continue
-            h = pre.copy()
-            _hash_part(h, q_digests[i])
-            _hash_part(h, halo_digest)
-            _hash_part(h, perm)
-            sub_keys.append(h.digest())
+            perm_digest, hal = rpart.sorted_halo(key, front.halo, canonical)
+            sub_keys.append(pre + q_digests[i] + n_digests[i] + perm_digest)
             tiles.append((q_idx, hal))
             if ledger is not None:
-                tile_ids.append((key, _digest_bytes(q_digests[i]),
-                                 _digest_bytes(halo_digest)))
+                tile_ids.append((key, q_digests[i], n_digests[i]))
         plan_sp.count("tiles", float(len(sub_keys)))
     if ledger is not None:
         ledger.call("knn", len(sub_keys) + len(fallback))
@@ -284,25 +301,23 @@ def run_ball_query(front, chain, queries, references, radius: float, k: int):
         r_cov2 = r_cov * r_cov
         full_cover = r_cov >= radius
         q_digests = qpart.digest_all()
-        rpart.digest_all()
-        pre = _prefix(b"tile/ball", float(radius), int(k),
-                      front.tile_size, front.halo)
+        pre = _key_prefix(b"tile/ball", float(radius), int(k),
+                          front.tile_size, front.halo)
+        n_digests, n_flat, n_bounds = rpart.fill_neighborhoods(
+            front.halo, qpart.unique_keys
+        )
         tiles, sub_keys, fallback, tile_ids = [], [], [], []
         for i, key in enumerate(qpart.unique_keys.tolist()):
             q_idx = qpart.indices(key)
-            halo_digest, perm, hal = rpart.sorted_neighborhood(key, front.halo)
-            if len(hal) == 0:
+            canonical = n_flat[n_bounds[i]:n_bounds[i + 1]]
+            if len(canonical) == 0:
                 fallback.append(q_idx)
                 continue
-            h = pre.copy()
-            _hash_part(h, q_digests[i])
-            _hash_part(h, halo_digest)
-            _hash_part(h, perm)
-            sub_keys.append(h.digest())
+            perm_digest, hal = rpart.sorted_halo(key, front.halo, canonical)
+            sub_keys.append(pre + q_digests[i] + n_digests[i] + perm_digest)
             tiles.append((q_idx, hal))
             if ledger is not None:
-                tile_ids.append((key, _digest_bytes(q_digests[i]),
-                                 _digest_bytes(halo_digest)))
+                tile_ids.append((key, q_digests[i], n_digests[i]))
         plan_sp.count("tiles", float(len(sub_keys)))
     if ledger is not None:
         ledger.call("ball_query", len(sub_keys) + len(fallback))
@@ -554,6 +569,93 @@ class KernelComposer:
         }
 
 
+class VoxelComposer(KernelComposer):
+    """Delta-composition of the voxelize key merge across frames.
+
+    ``run_voxelize``'s compose step sorts the concatenation of every
+    tile's sorted-unique voxel keys — an O(n log n) argsort per call even
+    when the frame is fully warm.  Per-tile runs interleave across tiles
+    (tile order is not voxel-key order), but they are each strictly
+    sorted and mutually *disjoint* (grid cells partition voxel space), so
+    the :class:`KernelComposer` delta idea simplifies to a K-way run
+    merge with no weight ordering at all:
+
+    * *survivor* runs (tiles whose sub-key recurs with the same size)
+      keep their previous merged relative order, translated to the new
+      concatenation layout;
+    * *fresh* runs (changed/new tiles) sort among themselves — K tiles'
+      worth of keys, not a frame's — and merge into the survivors with
+      one ``searchsorted`` (keys are globally unique: no tie-break);
+    * the composed key sequence must strictly increase (the same
+      structural certificate the voxelizer already carries); any
+      violation falls back to the full argsort, so a splice can never
+      change a result.
+
+    Record bookkeeping (per ``(tile side, ndim)`` family) is inherited
+    from :class:`KernelComposer`; only the merge differs.
+    """
+
+    def compose(self, family, sub_keys, sizes, all_keys) -> np.ndarray:
+        """Merged-order permutation over the concatenated voxel keys."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(all_keys)
+        record, matched_rows, mapping = self._best_candidate(
+            family, sub_keys, sizes
+        )
+        order = None
+        if record is not None and matched_rows >= self.min_match_fraction * n:
+            order = self._splice_runs(record, mapping, sizes, all_keys)
+            if order is None:
+                self.fallbacks += 1
+            else:
+                self.splices += 1
+        if order is None:
+            self.full_sorts += 1
+            order = np.argsort(all_keys, kind="stable")  # disjoint: no ties
+        self._remember(family, sub_keys, sizes, order)
+        return order
+
+    def _splice_runs(self, record, mapping, sizes, all_keys):
+        new_bounds = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(new_bounds[-1])
+        new_slot_of_prev = np.full(len(record["counts"]), -1, dtype=np.int64)
+        for s_prev, s_new in mapping:
+            new_slot_of_prev[s_prev] = s_new
+        mapped_slots = new_slot_of_prev[record["row_slot"]]
+        keep = mapped_slots >= 0
+        surv = new_bounds[mapped_slots[keep]] + record["row_local"][keep]
+        covered = np.zeros(n, dtype=bool)
+        covered[surv] = True
+        fresh = np.flatnonzero(~covered)
+        if len(surv) + len(fresh) != n:  # overlapping translation: bail
+            return None
+        if not len(surv):
+            return None  # nothing survived; the full sort is the fast path
+        sk = all_keys[surv]
+        if len(sk) > 1 and not bool(np.all(sk[1:] > sk[:-1])):
+            return None  # renumbering broke the survivors' order
+        if not len(fresh):
+            return surv
+        fresh = fresh[np.argsort(all_keys[fresh], kind="stable")]
+        fk = all_keys[fresh]
+        ins = np.searchsorted(sk, fk)
+        shift = np.cumsum(np.bincount(ins, minlength=len(surv) + 1))
+        order = np.empty(n, dtype=np.int64)
+        order[np.arange(len(surv)) + shift[:len(surv)]] = surv
+        order[ins + np.arange(len(fresh))] = fresh
+        mk = all_keys[order]
+        if not bool(np.all(mk[1:] > mk[:-1])):
+            return None  # duplicate keys across runs (or a latent bug)
+        return order
+
+    def snapshot(self) -> dict:
+        return {
+            "splices": self.splices,
+            "full_merges": self.full_sorts,
+            "fallbacks": self.fallbacks,
+        }
+
+
 def _tile_kernel_rows_keys(in_keys_sub, out_keys_sub, okey_deltas):
     """Kernel-map rows of one tile from pre-packed keys.
 
@@ -608,37 +710,24 @@ def run_kernel_map(front, chain, op, in_coords, out_coords, offsets):
         opart = ipart if out_coords is in_coords else front._partition(
             out_coords, side
         )
-        opart_packed = opart.packed()
-        o_row_bytes = opart_packed.dtype.itemsize * opart_packed.shape[1]
-        o_mv = memoryview(opart_packed).cast("B")
-        o_tag = _dtype_tag(opart_packed.dtype)
-        o_ncols = opart_packed.shape[1]
-        o_bounds = opart._bounds.tolist()
-        ipart.fill_shells(reach)
-        pre = _prefix(b"tile/kmap", algorithm, offsets_raw, int(side),
-                      int(reach))
+        o_digests = opart.digest_all()
+        s_digests, s_flat, s_bounds = ipart.fill_shells(
+            reach, None if opart is ipart else opart.unique_keys
+        )
+        pre = _key_prefix(b"tile/kmap", algorithm, offsets_raw, int(side),
+                          int(reach))
         keys_list = opart.unique_keys.tolist()
-        # Out-tile content digests exist only for the miss diagnosis (the
-        # sub-key hashes the packed slice inline); batch-hashed and
-        # partition-memoized, and skipped entirely when no ledger is on.
-        o_digests = opart.digest_all() if ledger is not None else None
-        sub_keys, halos, tile_ids = [], [], []
-        for i, key in enumerate(keys_list):
-            halo_digest, hal = ipart.shell(key, reach)
-            lo, hi = o_bounds[i], o_bounds[i + 1]
-            h = pre.copy()
-            # The out tile's raw content, sliced from the packed buffer —
-            # byte-identical to hashing ``out_coords[o_idx]`` as the
-            # per-tile front does.
-            h.update(o_tag)
-            h.update(repr((hi - lo, o_ncols)).encode())
-            h.update(o_mv[lo * o_row_bytes:hi * o_row_bytes])
-            _hash_part(h, halo_digest)
-            sub_keys.append(h.digest())
-            halos.append(hal)
-            if ledger is not None:
-                tile_ids.append((key, _digest_bytes(o_digests[i]),
-                                 _digest_bytes(halo_digest)))
+        # Sub-keys assemble by concatenation: out-tile content digest plus
+        # fixed-width shell digest, both from whole-partition passes.
+        sub_keys = [pre + o_digests[i] + s_digests[i]
+                    for i in range(len(keys_list))]
+        halos = [s_flat[s_bounds[i]:s_bounds[i + 1]]
+                 for i in range(len(keys_list))]
+        tile_ids = (
+            [(key, o_digests[i], s_digests[i])
+             for i, key in enumerate(keys_list)]
+            if ledger is not None else []
+        )
         plan_sp.count("tiles", float(len(sub_keys)))
     if ledger is not None:
         ledger.call(op, len(sub_keys))
@@ -753,15 +842,13 @@ def run_voxelize(front, chain, points, voxel_size: float):
         # (and a geometry-only replay of the same grid) shares this build.
         part = front._partition(grid, side)
         digests = part.digest_all()
-        pre = _prefix(b"tile/voxelize", int(side))
-        sub_keys, tile_ids = [], []
-        keys_list = part.unique_keys.tolist() if ledger is not None else None
-        for i, d in enumerate(digests):
-            h = pre.copy()
-            _hash_part(h, d)
-            sub_keys.append(h.digest())
-            if ledger is not None:
-                tile_ids.append((keys_list[i], _digest_bytes(d), b""))
+        pre = _key_prefix(b"tile/voxelize", int(side))
+        sub_keys = [pre + d for d in digests]
+        tile_ids = (
+            [(key, digests[i], b"")
+             for i, key in enumerate(part.unique_keys.tolist())]
+            if ledger is not None else []
+        )
         plan_sp.count("tiles", float(len(sub_keys)))
     if ledger is not None:
         ledger.call("voxelize", len(sub_keys))
@@ -817,7 +904,25 @@ def run_voxelize(front, chain, points, voxel_size: float):
     if not ok:
         stats.fallback_rows += len(points)
         raise ValueError("voxelize tile certificate failed")
-    order = np.argsort(all_keys, kind="stable")  # disjoint: no ties
+    composer = front._vox_composer
+    with _span("splice", op="voxelize") as splice_sp:
+        splices0, merges0, fb0 = (composer.splices, composer.full_sorts,
+                                  composer.fallbacks)
+        order = composer.compose(
+            (int(side), grid.shape[1]), sub_keys, sizes, all_keys
+        )
+        splice_sp.count("splices", float(composer.splices - splices0))
+        splice_sp.count("full_merges", float(composer.full_sorts - merges0))
+        splice_sp.count("fallbacks", float(composer.fallbacks - fb0))
+        if ledger is not None:
+            # One compose -> one outcome; a certificate failure shows as
+            # both a fallback and a full merge, so check it first.
+            if composer.fallbacks > fb0:
+                ledger.splice("voxelize", "fallback(certificate)")
+            elif composer.full_sorts > merges0:
+                ledger.splice("voxelize", "full_merge")
+            else:
+                ledger.splice("voxelize", "spliced")
     rank = np.empty(len(order), dtype=np.int64)
     rank[order] = np.arange(len(order))
     inverse = np.empty(len(points), dtype=np.intp)

@@ -76,9 +76,11 @@ def hash_part(h, part) -> None:
 
     The one definition of the per-part encoding (array = dtype tag +
     ``repr(shape)`` + raw bytes; bytes raw; everything else ``repr``).
-    :func:`content_digest` and the batched planner's prefix-copied
-    sub-keys both build on it, which is what keeps the per-tile and
-    batched fronts addressing one cache universe.
+    :func:`content_digest` builds on it; so do the whole-call probes and
+    the legacy per-tile oracle's sub-keys.  The serving planner's
+    fixed-width tile keys (:mod:`repro.stream.plan`) hash parameters
+    through it too, but assemble per-tile keys by concatenating component
+    digests instead of re-hashing parts per tile.
     """
     if isinstance(part, np.ndarray):
         arr = np.ascontiguousarray(part)
@@ -97,6 +99,22 @@ def content_digest(*parts) -> bytes:
     for part in parts:
         hash_part(h, part)
     return h.digest()
+
+
+def _ranges(starts, lens, total: int):
+    """Concatenation of ``arange(s, s + l)`` runs, fully vectorized.
+
+    Every run length must be >= 1 and ``total == lens.sum()``.  Three
+    O(total) passes replace a Python loop over runs — the gather/scatter
+    primitive behind the batched shell and neighborhood assembly.
+    """
+    out = np.ones(total, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    out[0] = starts[0]
+    bnd = np.cumsum(lens)[:-1]
+    out[bnd] = starts[1:] - (starts[:-1] + lens[:-1]) + 1
+    return np.cumsum(out)
 
 
 class TilePartition:
@@ -134,15 +152,22 @@ class TilePartition:
         }
         self._digests: dict[int, bytes] = {}
         self._all_digests: list[bytes] | None = None
+        self._digest_mat: np.ndarray | None = None
         self._packed: np.ndarray | None = None
         self._point_keys: np.ndarray | None = None
         self._neighborhoods: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
         self._sorted_neighborhoods: dict[tuple[int, int], tuple] = {}
         # reach -> key -> {(axis, lo/hi): (digest, indices)}; see _slabs().
         self._slabs_by_reach: dict[int, dict[int, dict]] = {}
-        self._slabs_filled: set = set()  # reach / ("shells", reach) markers
         self._slab_masks_by_reach: dict[int, tuple] = {}
         self._shells: dict[tuple[int, int], tuple[bytes, np.ndarray]] = {}
+        # Batched (fixed-width) assembly caches: face-major slab tables per
+        # reach, shell/neighborhood tables per (reach-or-halo, query-keys),
+        # and the per-(key, halo) sorted-halo memo of the plan path.
+        self._slab_mats: dict[int, dict] = {}
+        self._shell_mats: dict = {}
+        self._nbhd_mats: dict = {}
+        self._sorted_halos: dict[tuple[int, int], tuple] = {}
 
     def __len__(self) -> int:
         return len(self._groups)
@@ -231,6 +256,20 @@ class TilePartition:
         self._all_digests = digests
         return digests
 
+    def digest_matrix(self) -> np.ndarray:
+        """Per-tile digests stacked as an ``(n_tiles, 16)`` uint8 matrix.
+
+        The gatherable form of :meth:`digest_all` — the batched shell and
+        neighborhood assembly pulls rows of it with fancy indexing instead
+        of probing a dict per tile.  Cached.
+        """
+        if self._digest_mat is None:
+            digests = self.digest_all()
+            self._digest_mat = np.frombuffer(
+                b"".join(digests), dtype=np.uint8
+            ).reshape(len(digests), _DIGEST_SIZE)
+        return self._digest_mat
+
     def point_keys(self) -> np.ndarray:
         """Packed ranking keys of every point (integer clouds), cached.
 
@@ -244,19 +283,25 @@ class TilePartition:
             self._point_keys = coords_to_keys(self.points)
         return self._point_keys
 
-    def fill_slabs(self, reach: int) -> None:
-        """Compute every tile's boundary slabs for ``reach`` in bulk.
+    def fill_slabs(self, reach: int) -> dict:
+        """Face-major boundary-slab tables for ``reach``, computed in bulk.
 
-        Fills the same per-``(key, reach)`` cache :meth:`_slabs` feeds —
-        identical ``(digest, indices)`` pairs — but in six vectorized
-        sweeps (one per face) over the packed buffer instead of six fancy
-        index operations per tile.  Idempotent per reach.
+        Returns ``{(axis, lo/hi): face}`` where each face holds, aligned
+        with :attr:`unique_keys` by tile slot: ``dig`` (an ``(n_tiles,
+        16)`` uint8 digest matrix, zero rows for absent slabs), ``occ``
+        (slab-present mask), and a run table — ``flat`` (every face
+        point's original index, tile runs back to back in original point
+        order) with per-slot ``bounds``.  Six vectorized sweeps (one per
+        face) over the packed buffer; faces with no points are omitted.
+        Per-slab digests are byte-identical to the per-tile oracle's
+        (:meth:`_slabs`).  Idempotent per reach.
         """
-        if reach in self._slabs_filled:
-            return
-        per_key = self._slabs_by_reach.setdefault(reach, {})
-        keys = self._ukeys.tolist()
-        if reach > 0:
+        mats = self._slab_mats.get(reach)
+        if mats is not None:
+            return mats
+        mats = {}
+        n_tiles = len(self._ukeys)
+        if reach > 0 and n_tiles:
             lo, hi = self._slab_masks(reach)
             order = self._order
             packed = self.packed()
@@ -276,75 +321,194 @@ class TilePartition:
                     ends = np.concatenate([runs, [len(sel)]])
                     slab_pts = np.ascontiguousarray(self.points[pidx])
                     mv = memoryview(slab_pts).cast("B")
+                    digs = []
                     for s, e in zip(starts.tolist(), ends.tolist()):
                         h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
                         h.update(tag)
                         h.update(repr((e - s, ncols)).encode())
                         h.update(mv[s * row_bytes:e * row_bytes])
-                        slot = per_key.setdefault(keys[slots[s]], {})
-                        slot[(axis, code)] = (h.digest(), pidx[s:e])
-        for key in keys:
-            per_key.setdefault(key, {})
-        self._slabs_filled.add(reach)
+                        digs.append(h.digest())
+                    run_slots = slots[starts]
+                    dig = np.zeros((n_tiles, _DIGEST_SIZE), dtype=np.uint8)
+                    dig[run_slots] = np.frombuffer(
+                        b"".join(digs), dtype=np.uint8
+                    ).reshape(len(digs), _DIGEST_SIZE)
+                    occ = np.zeros(n_tiles, dtype=bool)
+                    occ[run_slots] = True
+                    lens = np.zeros(n_tiles, dtype=np.int64)
+                    lens[run_slots] = ends - starts
+                    mats[(axis, code)] = {
+                        "dig": dig,
+                        "occ": occ,
+                        "flat": pidx,
+                        "bounds": np.concatenate([[0], np.cumsum(lens)]),
+                    }
+        self._slab_mats[reach] = mats
+        return mats
 
-    def fill_shells(self, reach: int) -> None:
-        """Compute every tile's reach-shell in one planned sweep.
+    def _gather_box(self, qkeys, deltas, sources):
+        """Whole-partition assembly of per-tile digest rows + index runs.
 
-        Fills the same ``(key, reach)`` cache :meth:`shell` serves —
-        identical digests and canonical index arrays — but resolves the
-        3^D neighbor slots for *all* tiles with one searchsorted over the
-        key matrix and replaces the per-slot dict probes with list
-        indexing, which is where the per-tile shell assembly spends its
-        time at small tiles.  Idempotent per reach.
+        For each query key and each box slot ``j`` (offset ``deltas[j]``),
+        ``sources[j]`` supplies the contribution of the tile found there:
+        ``None`` contributes nothing, else a ``(dig, occ, flat, bounds)``
+        table indexed by tile slot (``occ=None`` means every present tile
+        contributes).  Returns ``(digests, flat, bounds)``: one 16-byte
+        digest per query key — BLAKE2b over its row of the stacked
+        fixed-width slot-digest matrix, absent slots all-zero — plus the
+        canonical index concatenation as one flat array with per-query
+        run bounds.  No per-tile dict probes, no per-tile concatenates;
+        the only per-tile work left is the hash finalization.
         """
-        if ("shells", reach) in self._slabs_filled:
-            return
+        ukeys = self._ukeys
+        n_tiles = len(ukeys)
+        nq = len(qkeys)
+        n_slots = len(deltas)
+        if nq == 0:
+            return [], np.empty(0, dtype=np.intp), np.zeros(1, dtype=np.int64)
+        box = qkeys[:, None] + deltas[None, :]
+        if n_tiles:
+            pos = np.searchsorted(ukeys, box)
+            pos_c = np.minimum(pos, n_tiles - 1)
+            present = (pos < n_tiles) & (ukeys[pos_c] == box)
+        else:
+            pos_c = np.zeros((nq, n_slots), dtype=np.int64)
+            present = np.zeros((nq, n_slots), dtype=bool)
+        dmat = np.zeros((nq, n_slots * _DIGEST_SIZE), dtype=np.uint8)
+        lens = np.zeros((nq, n_slots), dtype=np.int64)
+        picks = []
+        for j, src in enumerate(sources):
+            if src is None:
+                picks.append(None)
+                continue
+            dig, occ, src_flat, src_bounds = src
+            if occ is None:
+                rows = np.flatnonzero(present[:, j])
+            else:
+                rows = np.flatnonzero(present[:, j] & occ[pos_c[:, j]])
+            if not len(rows):
+                picks.append(None)
+                continue
+            p = pos_c[rows, j]
+            dmat[rows, j * _DIGEST_SIZE:(j + 1) * _DIGEST_SIZE] = dig[p]
+            lens[rows, j] = src_bounds[p + 1] - src_bounds[p]
+            picks.append((rows, src_bounds[p], src_flat))
+        bounds = np.concatenate([[0], np.cumsum(lens.sum(axis=1))])
+        offs = bounds[:-1][:, None] + np.cumsum(lens, axis=1) - lens
+        flat = np.empty(int(bounds[-1]), dtype=np.intp)
+        for j, pick in enumerate(picks):
+            if pick is None:
+                continue
+            rows, src_starts, src_flat = pick
+            run = lens[rows, j]
+            total = int(run.sum())
+            if not total:
+                continue
+            flat[_ranges(offs[rows, j], run, total)] = \
+                src_flat[_ranges(src_starts, run, total)]
+        row_bytes = n_slots * _DIGEST_SIZE
+        buf = dmat.tobytes()
+        digests = [
+            hashlib.blake2b(buf[t * row_bytes:(t + 1) * row_bytes],
+                            digest_size=_DIGEST_SIZE).digest()
+            for t in range(nq)
+        ]
+        return digests, flat, bounds
+
+    def fill_shells(self, reach: int, qkeys: np.ndarray | None = None):
+        """Every query tile's reach-shell in one whole-partition sweep.
+
+        Returns ``(digests, flat, bounds)``: per query key (default: every
+        occupied tile, ascending), the fixed-width shell digest — BLAKE2b
+        over the tile's row of the stacked slot-digest matrix (own tile
+        digest at the center slot, each neighbor's facing-slab digest at
+        its slot, all-zero for absent contributions) — and its canonical
+        index array as a slice ``flat[bounds[i]:bounds[i + 1]]``.  The
+        canonical arrays are element-identical to the per-tile oracle's
+        :meth:`shell`; the digests are the *fixed-width* encoding the
+        versioned serving keys are built from, deliberately distinct from
+        the oracle's variable-width digests.  Cached per (reach, qkeys).
+        """
         side = int(self.tile_size)
         if not 0 <= 2 * reach <= side:
             raise ValueError(
                 f"shell needs 0 <= 2 * reach <= tile_size, got reach "
                 f"{reach} at tile_size {side}"
             )
-        self.digest_all()
-        self.fill_slabs(reach)
-        ukeys = self._ukeys
-        n_tiles = len(ukeys)
-        plan = _shell_plan(self._ndim)
-        box = ukeys[:, None] + _delta_keys(1, self._ndim)[None, :]
-        pos = np.searchsorted(ukeys, box)
-        pos_c = np.minimum(pos, n_tiles - 1)
-        occupied = (pos < n_tiles) & (ukeys[pos_c] == box)
-        keys_list = ukeys.tolist()
-        digests = self._all_digests
-        groups = [self._groups[k] for k in keys_list]
-        slabs = self._slabs_by_reach[reach]
-        slab_by_slot = [slabs[k] for k in keys_list]
-        shells = self._shells
-        empty = np.empty(0, dtype=np.intp)
-        for t in range(n_tiles):
-            cache_key = (keys_list[t], reach)
-            if cache_key in shells:
-                continue
-            h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
-            parts = []
-            occ_row = occupied[t]
-            pos_row = pos_c[t]
-            for j, slot in enumerate(plan):
-                if slot is None:  # the tile itself: wholly inside
-                    h.update(digests[t])
-                    parts.append(groups[t])
-                elif reach == 0 or not occ_row[j]:
-                    h.update(b"\x00")
-                else:
-                    slab = slab_by_slot[pos_row[j]].get(slot)
-                    if slab is None:
-                        h.update(b"\x00")
-                    else:
-                        h.update(slab[0])
-                        parts.append(slab[1])
-            canonical = np.concatenate(parts) if parts else empty
-            shells[cache_key] = (h.digest(), canonical)
-        self._slabs_filled.add(("shells", reach))
+        cache_key = (reach, None if qkeys is None else qkeys.tobytes())
+        cached = self._shell_mats.get(cache_key)
+        if cached is not None:
+            return cached
+        if qkeys is None:
+            qkeys = self._ukeys
+        slab_mats = self.fill_slabs(reach)
+        tile_src = (self.digest_matrix(), None, self._order, self._bounds)
+        sources = []
+        for slot in _shell_plan(self._ndim):
+            if slot is None:  # the tile itself: wholly inside the region
+                sources.append(tile_src)
+            elif reach == 0:
+                sources.append(None)
+            else:
+                face = slab_mats.get(slot)
+                sources.append(None if face is None else (
+                    face["dig"], face["occ"], face["flat"], face["bounds"]
+                ))
+        result = self._gather_box(
+            qkeys, _delta_keys(1, self._ndim), sources
+        )
+        self._shell_mats[cache_key] = result
+        return result
+
+    def fill_neighborhoods(self, halo: int, qkeys: np.ndarray | None = None):
+        """Every query tile's halo-box neighborhood in one sweep.
+
+        The :meth:`fill_shells` analogue for the continuous ops: each of
+        the ``(2 * halo + 1)^D`` box slots contributes the whole tile
+        found there (digest row + full index run), absent cells all-zero.
+        Returns ``(digests, flat, bounds)`` aligned with ``qkeys``
+        (default: every occupied tile); canonical index arrays are
+        element-identical to the oracle's :meth:`neighborhood`.  Cached
+        per (halo, qkeys).
+        """
+        cache_key = (halo, None if qkeys is None else qkeys.tobytes())
+        cached = self._nbhd_mats.get(cache_key)
+        if cached is not None:
+            return cached
+        if qkeys is None:
+            qkeys = self._ukeys
+        deltas = _delta_keys(halo, self._ndim)
+        tile_src = (self.digest_matrix(), None, self._order, self._bounds)
+        result = self._gather_box(qkeys, deltas, [tile_src] * len(deltas))
+        self._nbhd_mats[cache_key] = result
+        return result
+
+    def sorted_halo(self, key: int, halo: int, canonical: np.ndarray):
+        """``(perm_digest, sorted_halo)`` for one tile of the plan path.
+
+        ``canonical`` is the tile's slice of a :meth:`fill_neighborhoods`
+        flat array; the interleave permutation that sorts it to ascending
+        global index is digested (16 bytes) rather than hashed into every
+        sub-key raw — the neighborhood digest already fixes the per-tile
+        lengths, so the permutation bytes alone identify the interleaving.
+        Cached per ``(key, halo)``: the argsort is the one per-tile cost
+        the batched assembly cannot remove, so it must not repeat across
+        the ops of one frame.
+        """
+        cached = self._sorted_halos.get((key, halo))
+        if cached is not None:
+            return cached
+        if len(canonical) == 0:
+            result = (bytes(_DIGEST_SIZE), canonical)
+        else:
+            perm = np.argsort(canonical, kind="stable").astype(np.int32)
+            result = (
+                hashlib.blake2b(perm.tobytes(),
+                                digest_size=_DIGEST_SIZE).digest(),
+                canonical[perm],
+            )
+        self._sorted_halos[(key, halo)] = result
+        return result
 
     def sorted_neighborhood(self, key: int, halo: int):
         """``(halo_digest, interleave_perm, sorted_halo)`` for one tile.

@@ -5,8 +5,8 @@ decomposes ({kNN, ball query, kernel map, voxelize}), across executors
 ({engine, cluster, fleet}) and tile sizes, the plan path — vectorized
 digests, ``get_many`` batching, whole-call reuse, delta-composed kernel
 maps — produces results bit-identical to the cold reference computation
-AND to the per-tile front it replaces (``batched=False``), cold and warm,
-frame over frame.  Splices, certificates, whole-call hits and the
+AND to the per-tile oracle it replaced (:class:`PerTileOracle`), cold and
+warm, frame over frame.  Splices, certificates, whole-call hits and the
 density bypass are wall-clock phenomena only.
 """
 
@@ -27,6 +27,7 @@ from repro.stream import (
     StreamSession,
     TileMapCache,
 )
+from repro.stream.incremental import PerTileOracle
 
 N_FRAMES = 3
 CFG = SequenceConfig(seed=23, n_frames=N_FRAMES, base_points=2200,
@@ -53,8 +54,8 @@ def _drifting_clouds(rng, n=900, span=32.0, frames=3):
 def _chains(**kwargs):
     kwargs.setdefault("min_points", 1)
     out = []
-    for batched in (True, False):
-        front = TileMapCache(batched=batched, **kwargs)
+    for cls in (TileMapCache, PerTileOracle):
+        front = cls(**kwargs)
         out.append((front,
                     TieredLookup([MapCache(max_entries=1 << 15)], front=front)))
     return out
@@ -156,8 +157,7 @@ def _assert_matches(session, oracle):
 def test_engine_stream_batched_bit_identical(sequence, oracles, bench_name,
                                              tiles):
     session = StreamSession(
-        sequence, bench_name, scale=0.25, min_points=64,
-        batched_tiles=True, **tiles,
+        sequence, bench_name, scale=0.25, min_points=64, **tiles,
     )
     _assert_matches(session, oracles[bench_name])
     assert session.tile_cache.stats().decomposed_calls > 0
@@ -172,8 +172,7 @@ def test_cluster_stream_batched_bit_identical(sequence, oracles, bench_name,
     cluster = EngineCluster(
         n_shards=2,
         backends=("pointacc",),
-        tile_cache=TileMapCache(tile_size=4.0, halo=1, min_points=64,
-                                batched=True),
+        tile_cache=TileMapCache(tile_size=4.0, halo=1, min_points=64),
         cache_dir=tmp_path / "spill",
     )
     session = StreamSession(sequence, bench_name, scale=0.25,
@@ -200,8 +199,7 @@ def test_fleet_batched_bit_identical(bench_name):
                    scale=0.25, n_frames=N_FRAMES)
         for i, seq in enumerate(sequences)
     ]
-    fleet = FleetSession(specs, n_shards=1, min_points=64,
-                         batched_tiles=True)
+    fleet = FleetSession(specs, n_shards=1, min_points=64)
     results = fleet.run()
     for i, seq in enumerate(sequences):
         notation = seq.notation(bench_name)

@@ -7,6 +7,8 @@ plain reference computation exactly — indices, distances, row order — on
 cold caches, warm caches, and across perturbed "next frames".
 """
 
+import sys
+
 import numpy as np
 import pytest
 
@@ -17,32 +19,28 @@ from repro.mapping.kernel_map import kernel_map
 from repro.mapping.knn import knn_indices
 from repro.pointcloud.coords import quantize_unique, voxelize
 from repro.stream import TileMapCache
+from repro.stream.incremental import PerTileOracle
+
+_FRONT_CLS = TileMapCache
 
 
 def _front(chain_entries=1 << 15, **kwargs):
     kwargs.setdefault("min_points", 1)
-    front = TileMapCache(**kwargs)
+    front = _FRONT_CLS(**kwargs)
     chain = TieredLookup([MapCache(max_entries=chain_entries)], front=front)
     return front, chain
 
 
-@pytest.fixture(params=[True, False], ids=["batched", "per-tile"],
-                autouse=True)
-def batched_mode(request, monkeypatch):
-    """Run every exactness test in both front modes.
+@pytest.fixture(params=[TileMapCache, PerTileOracle],
+                ids=["planner", "oracle"], autouse=True)
+def front_cls(request, monkeypatch):
+    """Run every exactness test against both fronts.
 
-    The plan/execute pipeline and the per-tile reference implementation
-    must both satisfy every contract in this file; parametrizing the
-    default keeps the legacy path covered now that ``batched=True`` is
-    the production default.
+    The batched planner serves all production traffic; the per-tile
+    oracle is the retired reference implementation the planner is proven
+    against.  Both must satisfy every contract in this file.
     """
-    original = TileMapCache.__init__
-
-    def patched(self, *args, **kwargs):
-        kwargs.setdefault("batched", request.param)
-        original(self, *args, **kwargs)
-
-    monkeypatch.setattr(TileMapCache, "__init__", patched)
+    monkeypatch.setattr(sys.modules[__name__], "_FRONT_CLS", request.param)
     return request.param
 
 
@@ -202,7 +200,7 @@ class TestKernelMapExact:
 
 class TestGatingAndStats:
     def test_small_clouds_pass_through(self, rng):
-        front = TileMapCache(min_points=1000)
+        front = _FRONT_CLS(min_points=1000)
         chain = TieredLookup([MapCache()], front=front)
         queries, references = _clouds(rng, n_q=50, n_r=50)
         with use_map_cache(chain):
@@ -289,7 +287,7 @@ class TestVoxelizeExact:
         call to the global reference computation, not a wrong answer."""
         points = rng.uniform(0, 10, (1500, 3))
         expect = voxelize(points, 0.2)
-        front = TileMapCache(min_points=1, voxel_tile=8)
+        front = _FRONT_CLS(min_points=1, voxel_tile=8)
         tier = MapCache(max_entries=1 << 15)
         chain = TieredLookup([tier], front=front)
         with use_map_cache(chain):

@@ -1,11 +1,12 @@
-"""The batched planner: key parity, batch chain API, delta composition.
+"""The batched planner: key disjointness, batch chain API, composition.
 
 Exactness of the batched front against the reference ops is covered by
-``test_incremental.py`` (parametrized over both modes) and the property
-suites; this file pins the plan-specific machinery — sub-key parity with
-the per-tile front (one cache universe), the ``get_many``/``put_many``
-chain semantics, whole-call reuse, the kernel composer's splice and its
-certificate, and the small-cloud density bypass.
+``test_incremental.py`` (parametrized over planner and oracle) and the
+property suites; this file pins the plan-specific machinery — the
+versioned fixed-width key universe (disjoint from the oracle's legacy
+digests by construction), the ``get_many``/``put_many`` chain semantics,
+whole-call reuse, the kernel composer's splice and its certificate, and
+the small-cloud density bypass.
 """
 
 import numpy as np
@@ -17,59 +18,115 @@ from repro.mapping.kernel_map import kernel_map
 from repro.mapping.knn import knn_indices
 from repro.pointcloud.coords import quantize_unique, voxelize
 from repro.stream import TileMapCache
+from repro.stream.incremental import PerTileOracle
 from repro.stream.tiles import TilePartition
 
 
-def _pair(batched, tier=None, **kwargs):
+def _pair(oracle=False, tier=None, **kwargs):
     kwargs.setdefault("min_points", 1)
-    front = TileMapCache(batched=batched, **kwargs)
+    cls = PerTileOracle if oracle else TileMapCache
+    front = cls(**kwargs)
     tier = tier if tier is not None else MapCache(max_entries=1 << 15)
     return front, tier, TieredLookup([tier], front=front)
 
 
-class TestKeyParity:
-    """Both modes address one cache universe: warm one, hit from the other."""
+class TestKeyDisjointness:
+    """Planner and oracle keys can never collide: warming either front
+    leaves the other stone cold in a shared store (the planner's keys
+    carry a versioned fixed-width prefix and are all longer than the
+    oracle's 16-byte ``content_digest`` sub-keys), while both still
+    produce the exact reference arrays."""
 
-    @pytest.mark.parametrize("warm_batched", [True, False])
-    def test_kernel_map_keys_shared(self, rng, warm_batched):
+    @pytest.mark.parametrize("warm_oracle", [True, False])
+    def test_kernel_map_universes_disjoint(self, rng, warm_oracle):
         coords, _ = quantize_unique(rng.integers(0, 80, (900, 3)), 1)
-        _, tier, chain = _pair(warm_batched, voxel_tile=8)
+        _, tier, chain = _pair(warm_oracle, voxel_tile=8)
         with use_map_cache(chain):
             kernel_map(coords, coords, kernel_size=3)
-        replay, _, chain2 = _pair(not warm_batched, tier=tier, voxel_tile=8)
+        replay, _, chain2 = _pair(not warm_oracle, tier=tier, voxel_tile=8)
         with use_map_cache(chain2):
             got = kernel_map(coords, coords, kernel_size=3)
         per_tile = replay.stats().by_op["kernel_map/mergesort"]
-        assert per_tile["misses"] == 0 and per_tile["hits"] > 0
+        assert per_tile["hits"] == 0 and per_tile["misses"] > 0
         expect = kernel_map(coords, coords, kernel_size=3)
         assert np.array_equal(expect.in_idx, got.in_idx)
         assert np.array_equal(expect.out_idx, got.out_idx)
         assert np.array_equal(expect.weight_idx, got.weight_idx)
 
-    @pytest.mark.parametrize("warm_batched", [True, False])
-    def test_knn_keys_shared(self, rng, warm_batched):
+    @pytest.mark.parametrize("warm_oracle", [True, False])
+    def test_knn_universes_disjoint(self, rng, warm_oracle):
         cloud = rng.uniform(0, 20, (400, 3))
-        _, tier, chain = _pair(warm_batched, tile_size=4.0)
+        _, tier, chain = _pair(warm_oracle, tile_size=4.0)
         with use_map_cache(chain):
             knn_indices(cloud, cloud, 5)
-        replay, _, chain2 = _pair(not warm_batched, tier=tier, tile_size=4.0)
+        replay, _, chain2 = _pair(not warm_oracle, tier=tier, tile_size=4.0)
         with use_map_cache(chain2):
             got = knn_indices(cloud, cloud, 5)
-        assert replay.stats().by_op["knn"]["misses"] == 0
+        per_tile = replay.stats().by_op["knn"]
+        assert per_tile["hits"] == 0 and per_tile["misses"] > 0
         assert np.array_equal(knn_indices(cloud, cloud, 5)[0], got[0])
 
-    def test_voxelize_keys_shared(self, rng):
+    @pytest.mark.parametrize("warm_oracle", [True, False])
+    def test_voxelize_universes_disjoint(self, rng, warm_oracle):
         pts = rng.uniform(0, 30, (3000, 3))
-        _, tier, chain = _pair(False, voxel_tile=16)
+        _, tier, chain = _pair(warm_oracle, voxel_tile=16)
         with use_map_cache(chain):
             voxelize(pts, 0.1)
-        replay, _, chain2 = _pair(True, tier=tier, voxel_tile=16)
+        replay, _, chain2 = _pair(not warm_oracle, tier=tier, voxel_tile=16)
         with use_map_cache(chain2):
             got = voxelize(pts, 0.1)
-        assert replay.stats().by_op["voxelize"]["misses"] == 0
+        per_tile = replay.stats().by_op["voxelize"]
+        assert per_tile["hits"] == 0 and per_tile["misses"] > 0
         expect = voxelize(pts, 0.1)
         assert np.array_equal(expect[0], got[0])
         assert np.array_equal(expect[1], got[1])
+
+
+class TestKeyFormat:
+    """The versioned fixed-width key encoding itself."""
+
+    def test_prefix_is_versioned_and_fixed_width(self):
+        from repro.stream.plan import _KEY_VERSION, _key_prefix
+
+        pre = _key_prefix(b"tile/voxelize", 64)
+        assert pre.startswith(_KEY_VERSION)
+        assert len(pre) == len(_KEY_VERSION) + 16
+        assert pre != _key_prefix(b"tile/voxelize", 128)
+        assert pre == _key_prefix(b"tile/voxelize", 64)
+
+    def test_serving_keys_cannot_collide_with_legacy_digests(self):
+        """Every legacy sub-key is exactly 16 bytes (a bare blake2b
+        digest); every versioned serving key is prefix + >= 1 component
+        digest, i.e. >= 34 bytes — disjoint by length alone, for any
+        content."""
+        from repro.stream.plan import _key_prefix
+        from repro.stream.tiles import content_digest
+
+        legacy = content_digest(b"tile/voxelize", 64, b"anything")
+        assert len(legacy) == 16
+        serving = _key_prefix(b"tile/voxelize", 64) + content_digest(b"x")
+        assert len(serving) >= 34
+
+    def test_store_key_sets_disjoint_on_real_traffic(self, rng):
+        """Run identical traffic through the planner and the oracle into
+        separate stores: not a single key in common, across every op
+        family (the whole-call entries only the planner writes
+        included)."""
+        cloud = rng.uniform(0, 20, (500, 3))
+        coords, _ = quantize_unique(rng.integers(0, 64, (700, 3)), 1)
+        pts = rng.uniform(0, 30, (2000, 3))
+        key_sets = []
+        for oracle in (False, True):
+            _, tier, chain = _pair(oracle, voxel_tile=8)
+            with use_map_cache(chain):
+                knn_indices(cloud, cloud, 5)
+                kernel_map(coords, coords, kernel_size=3)
+                voxelize(pts, 0.1)
+            key_sets.append(set(tier._entries.keys()))
+        planner_keys, oracle_keys = key_sets
+        assert planner_keys and oracle_keys
+        assert not (planner_keys & oracle_keys)
+        assert all(len(k) == 16 for k in oracle_keys)
 
 
 class TestBatchChainApi:
@@ -118,7 +175,7 @@ class TestBatchChainApi:
 class TestWholeCallReuse:
     def test_identical_kernel_calls_share_one_table(self, rng):
         coords, _ = quantize_unique(rng.integers(0, 60, (600, 3)), 1)
-        front, _, chain = _pair(True, voxel_tile=8)
+        front, _, chain = _pair(voxel_tile=8)
         with use_map_cache(chain):
             first = kernel_map(coords, coords, kernel_size=3)
             second = kernel_map(coords.copy(), coords.copy(), kernel_size=3)
@@ -130,7 +187,7 @@ class TestWholeCallReuse:
 
     def test_knn_whole_hits_are_owned(self, rng):
         cloud = rng.uniform(0, 16, (300, 3))
-        front, _, chain = _pair(True, tile_size=4.0)
+        front, _, chain = _pair(tile_size=4.0)
         with use_map_cache(chain):
             idx1, dist1 = knn_indices(cloud, cloud, 4)
             idx1[:] = -1  # scribble on the result...
@@ -158,7 +215,7 @@ class TestDeltaComposition:
         keep = ~np.all(coords < 24, axis=1)
         nxt = np.ascontiguousarray(coords[keep])
         assert len(nxt) < len(coords)  # the scenario is non-trivial
-        front, _, chain = _pair(True, voxel_tile=8)
+        front, _, chain = _pair(voxel_tile=8)
         self._warm_and_replay(coords, nxt, algorithm, chain)
         assert front._composer.splices >= 1
         assert front._composer.fallbacks == 0
@@ -174,7 +231,7 @@ class TestDeltaComposition:
             [part.indices(k) for k in reversed(list(part.keys()))]
         )
         shuf = np.ascontiguousarray(coords[perm])
-        front, _, chain = _pair(True, voxel_tile=8)
+        front, _, chain = _pair(voxel_tile=8)
         self._warm_and_replay(coords, shuf, "hash", chain)
         assert front._composer.fallbacks >= 1
 
@@ -188,7 +245,7 @@ class TestDeltaComposition:
             [part.indices(k) for k in reversed(list(part.keys()))]
         )
         shuf = np.ascontiguousarray(coords[perm])
-        front, _, chain = _pair(True, voxel_tile=8)
+        front, _, chain = _pair(voxel_tile=8)
         self._warm_and_replay(coords, shuf, "mergesort", chain)
         assert front._composer.splices >= 1
         assert front._composer.fallbacks == 0
@@ -204,7 +261,7 @@ class TestDeltaComposition:
                 rng.integers(0, 48, (500, 3)) + 200 * i, 1
             )
             clouds.append(coords)
-        front, _, chain = _pair(True, voxel_tile=8,
+        front, _, chain = _pair(voxel_tile=8,
                                 compose_records=n_callers + 2)
         with use_map_cache(chain):
             for rounds in range(2):
@@ -225,7 +282,7 @@ class TestDeltaComposition:
 
     def test_compose_counters_surface_in_snapshot(self, rng):
         coords, _ = quantize_unique(rng.integers(0, 40, (500, 3)), 1)
-        front, _, chain = _pair(True, voxel_tile=8)
+        front, _, chain = _pair(voxel_tile=8)
         with use_map_cache(chain):
             kernel_map(coords, coords, kernel_size=3)
         snap = front.stats().snapshot()
@@ -236,7 +293,7 @@ class TestDensityBypass:
     def test_sparse_cloud_takes_whole_op_path(self, rng):
         # ~500 points over a 20m span at 2m tiles: ~0.5 points per tile.
         cloud = rng.uniform(0, 20, (500, 3))
-        front, _, chain = _pair(True, tile_size=2.0, min_points_per_tile=8)
+        front, _, chain = _pair(tile_size=2.0, min_points_per_tile=8)
         expect = knn_indices(cloud, cloud, 4)
         with use_map_cache(chain):
             got = knn_indices(cloud, cloud, 4)
@@ -247,7 +304,7 @@ class TestDensityBypass:
 
     def test_dense_cloud_still_decomposes(self, rng):
         cloud = rng.uniform(0, 8, (2000, 3))  # ~30+ points per 2m tile
-        front, _, chain = _pair(True, tile_size=2.0, min_points_per_tile=8)
+        front, _, chain = _pair(tile_size=2.0, min_points_per_tile=8)
         with use_map_cache(chain):
             knn_indices(cloud, cloud, 4)
         assert front.stats().decomposed_calls == 1
@@ -255,7 +312,7 @@ class TestDensityBypass:
 
     def test_bypass_applies_to_kernel_maps_and_voxelize(self, rng):
         coords, _ = quantize_unique(rng.integers(0, 500, (400, 3)), 1)
-        front, _, chain = _pair(True, voxel_tile=4,
+        front, _, chain = _pair(voxel_tile=4,
                                 min_points_per_tile=16)
         with use_map_cache(chain):
             kernel_map(coords, coords, kernel_size=3)

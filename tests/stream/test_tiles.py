@@ -238,6 +238,109 @@ class TestShellDegenerateCases:
         assert part2._slabs(key, 2) == {}
 
 
+class TestVectorizedAssembly:
+    """Whole-partition shell/neighborhood sweeps: canonical index arrays
+    element-identical to the per-tile oracle, digests fixed-width (16
+    bytes) and deterministic — including every degenerate shape the
+    digest-format migration must survive."""
+
+    def test_fill_shells_matches_oracle_canonicals(self, rng):
+        coords = rng.integers(0, 64, (800, 3))
+        part = TilePartition(coords, 16)
+        oracle = TilePartition(coords.copy(), 16)
+        digests, flat, bounds = part.fill_shells(2)
+        keys = list(part.keys())
+        assert len(digests) == len(keys)
+        for i, key in enumerate(keys):
+            _, canonical = oracle.shell(key, 2)
+            assert np.array_equal(flat[bounds[i]:bounds[i + 1]], canonical)
+            assert isinstance(digests[i], bytes) and len(digests[i]) == 16
+
+    def test_fill_neighborhoods_matches_oracle_canonicals(self, cloud):
+        part = partition(cloud, 4.0)
+        oracle = partition(cloud.copy(), 4.0)
+        digests, flat, bounds = part.fill_neighborhoods(1)
+        for i, key in enumerate(part.keys()):
+            _, canonical = oracle.neighborhood(key, 1)
+            assert np.array_equal(flat[bounds[i]:bounds[i + 1]], canonical)
+            assert len(digests[i]) == 16
+
+    def test_digests_deterministic_and_content_sensitive(self, rng):
+        coords = rng.integers(0, 48, (400, 3))
+        a = TilePartition(coords, 16).fill_shells(1)
+        b = TilePartition(coords.copy(), 16).fill_shells(1)
+        assert a[0] == b[0]
+        shuffled = TilePartition(coords[::-1].copy(), 16).fill_shells(1)
+        assert a[0] != shuffled[0]  # order is content
+
+    def test_single_point_tile(self):
+        pts = np.array([[1.0, 1.0, 1.0]])
+        part = TilePartition(pts, 4.0)
+        digests, flat, bounds = part.fill_neighborhoods(1)
+        assert len(digests) == 1 and len(digests[0]) == 16
+        assert np.array_equal(flat[bounds[0]:bounds[1]], [0])
+
+    def test_one_tile_world(self, rng):
+        coords = rng.integers(0, 8, (64, 3))
+        part = TilePartition(coords, 64)
+        oracle = TilePartition(coords.copy(), 64)
+        (key,) = part.keys()
+        digests, flat, bounds = part.fill_shells(2)
+        _, canonical = oracle.shell(key, 2)
+        assert np.array_equal(flat[bounds[0]:bounds[1]], canonical)
+        ndig, nflat, nbounds = part.fill_neighborhoods(1)
+        assert np.array_equal(nflat[nbounds[0]:nbounds[1]],
+                              oracle.neighborhood(key, 1)[1])
+
+    def test_empty_slab_equals_absent_neighbor(self, rng):
+        """A neighbor whose facing slab is empty must contribute the same
+        all-zero digest row an absent neighbor does."""
+        side = 16
+        center = rng.integers(4, 12, (30, 3))
+        alone = TilePartition(center, side)
+        key = int(coords_to_keys(np.array([[0, 0, 0]]))[0])
+        d_alone, f_alone, b_alone = alone.fill_shells(2, np.array([key]))
+        neighbor = rng.integers(4, 12, (25, 3))
+        neighbor[:, 0] += side  # interior-only +x neighbor
+        both = TilePartition(np.concatenate([center, neighbor]), side)
+        d_both, f_both, b_both = both.fill_shells(2, np.array([key]))
+        assert d_alone[0] == d_both[0]
+        assert np.array_equal(f_alone[b_alone[0]:b_alone[1]],
+                              f_both[b_both[0]:b_both[1]])
+
+    def test_absent_query_key_yields_empty_run(self, rng):
+        coords = rng.integers(0, 16, (100, 3))
+        part = TilePartition(coords, 16)
+        absent = int(coords_to_keys(np.array([[40, 40, 40]]))[0])
+        digests, flat, bounds = part.fill_shells(1, np.array([absent]))
+        assert bounds[1] - bounds[0] == 0
+        assert len(digests[0]) == 16
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_both_coord_dtypes(self, rng, dtype):
+        coords = rng.integers(0, 64, (500, 3)).astype(dtype)
+        part = TilePartition(coords, 16)
+        oracle = TilePartition(coords.copy(), 16)
+        digests, flat, bounds = part.fill_shells(2)
+        for i, key in enumerate(part.keys()):
+            _, canonical = oracle.shell(key, 2)
+            assert np.array_equal(flat[bounds[i]:bounds[i + 1]], canonical)
+
+    def test_dtype_is_part_of_the_digest(self, rng):
+        coords = rng.integers(0, 64, (500, 3))
+        d32 = TilePartition(coords.astype(np.int32), 16).fill_shells(1)[0]
+        d64 = TilePartition(coords.astype(np.int64), 16).fill_shells(1)[0]
+        assert d32 != d64
+
+    def test_empty_query_set(self, rng):
+        coords = rng.integers(0, 32, (100, 3))
+        part = TilePartition(coords, 16)
+        digests, flat, bounds = part.fill_shells(
+            1, np.empty(0, dtype=np.int64)
+        )
+        assert digests == [] and len(flat) == 0
+
+
 class TestContentDigest:
     def test_distinguishes_dtype_shape_and_bytes(self):
         a = np.arange(6, dtype=np.int64)

@@ -176,15 +176,24 @@ class TestCommands:
         assert "tile reuse by op" in out
         assert "geometry-only: yes" in out
 
-    def test_serve_stream_per_tile_front_with_bypass(self, capsys):
-        """The ablation knobs wire through: per-tile front plus a density
-        floor high enough that every call bypasses decomposition."""
+    def test_serve_stream_density_bypass(self, capsys):
+        """The density-floor knob wires through: a floor high enough that
+        every call bypasses decomposition still serves every frame."""
         code = main(["serve-stream", "--frames", "2", "--scale", "0.12",
-                     "--benchmark", "MinkNet(o)", "--no-batch",
+                     "--benchmark", "MinkNet(o)",
                      "--min-tile-points", "100000"])
         assert code == 0
         out = capsys.readouterr().out
         assert "served 2/2 frames" in out
+
+    def test_no_batch_is_a_clear_error(self, capsys):
+        """--no-batch parses (so old scripts fail loudly, not with an
+        argparse usage dump) but serving with it is a removal error."""
+        code = main(["serve-stream", "--frames", "1", "--no-batch"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--no-batch was removed" in err
+        assert "PerTileOracle" in err
 
     def test_serve_stream_cluster_with_deadlines(self, capsys):
         code = main(["serve-stream", "--frames", "2", "--scale", "0.1",
@@ -286,6 +295,11 @@ class TestCommands:
         assert "top recompute causes:" in out
         assert "recompute(cold)" in out
         assert "recomputed tiles:" in out  # the per-slow-frame join
+        # Compose outcomes surface alongside the recompute taxonomy —
+        # the voxelize merge family included (MinkNet voxelizes every
+        # frame, so at least one voxelize compose event is recorded).
+        assert "compose outcomes:" in out
+        assert "voxelize:" in out
 
     def test_trace_diff_cli_self_diff(self, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"
